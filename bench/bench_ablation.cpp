@@ -1,0 +1,216 @@
+// Ablations over the design choices DESIGN.md calls out:
+//  * MPC horizon H (the paper uses lookahead to smooth bandwidth errors),
+//  * ε, the QoE loss tolerance of constraint (8c),
+//  * the DP buffer quantum (the paper's 500 ms discretisation),
+//  * the Ptile clustering parameters σ (diameter cap) and δ = σ/4,
+//  * the frame-rate ladder (disabling it reduces Ours to Ptile).
+//
+// Each ablation reports energy and QoE of "Ours" on the free-viewing video 6
+// under network trace 2 — the regime where every mechanism is exercised.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "sim/session.h"
+#include "util/strings.h"
+
+using namespace ps360;
+
+namespace {
+
+struct Outcome {
+  double energy_mj_per_seg = 0.0;
+  double qoe = 0.0;
+  double fps = 0.0;
+  double stall_s = 0.0;
+};
+
+Outcome run(const sim::VideoWorkload& workload, const trace::NetworkTrace& net,
+            const sim::SessionConfig& config,
+            sim::SchemeKind scheme = sim::SchemeKind::kOurs) {
+  const auto result = sim::simulate_all_test_users(workload, scheme, net, config);
+  Outcome o;
+  o.energy_mj_per_seg =
+      result.energy.total_mj() / static_cast<double>(workload.segment_count());
+  o.qoe = result.qoe.mean_q;
+  o.fps = result.mean_fps;
+  o.stall_s = result.total_stall_s;
+  return o;
+}
+
+std::vector<std::string> row(const std::string& label, const Outcome& o) {
+  return {label, util::strfmt("%.0f", o.energy_mj_per_seg), util::strfmt("%.1f", o.qoe),
+          util::strfmt("%.1f", o.fps), util::strfmt("%.1f", o.stall_s)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv);
+  bench::print_header("bench_ablation",
+                      "ablations: H, epsilon, buffer quantum, sigma/delta, frame ladder",
+                      options);
+
+  sim::WorkloadConfig wconfig;
+  wconfig.seed = options.seed;
+  const sim::VideoWorkload workload(trace::test_videos()[5], wconfig);
+  const auto traces = trace::make_paper_traces(options.seed, 700.0);
+  const trace::NetworkTrace& net = traces.second;
+
+  // --- MPC horizon -------------------------------------------------------
+  {
+    util::TextTable table({"H", "energy mJ/seg", "QoE", "fps", "stall s"});
+    for (std::size_t h : {std::size_t{1}, std::size_t{3}, std::size_t{5},
+                          std::size_t{8}}) {
+      sim::SessionConfig config;
+      config.seed = options.seed;
+      config.mpc_horizon = h;
+      table.add_row(row(util::strfmt("%zu", h), run(workload, net, config)));
+    }
+    std::printf("\nMPC horizon H (paper: 5)\n%s", table.render().c_str());
+  }
+
+  // --- epsilon -----------------------------------------------------------
+  {
+    util::TextTable table({"epsilon", "energy mJ/seg", "QoE", "fps", "stall s"});
+    for (double eps : {0.0, 0.05, 0.10, 0.20}) {
+      sim::SessionConfig config;
+      config.seed = options.seed;
+      config.mpc.epsilon = eps;
+      table.add_row(row(util::strfmt("%.2f", eps), run(workload, net, config)));
+    }
+    std::printf("\nQoE loss tolerance epsilon (paper: 0.05) — larger epsilon "
+                "trades QoE for energy\n%s",
+                table.render().c_str());
+  }
+
+  // --- buffer quantum ----------------------------------------------------
+  {
+    util::TextTable table({"quantum s", "energy mJ/seg", "QoE", "fps", "stall s"});
+    for (double q : {0.25, 0.5, 1.0}) {
+      sim::SessionConfig config;
+      config.seed = options.seed;
+      config.mpc.buffer_quantum_s = q;
+      table.add_row(row(util::strfmt("%.2f", q), run(workload, net, config)));
+    }
+    std::printf("\nDP buffer quantum (paper: 0.5 s) — the discretisation barely "
+                "matters\n%s",
+                table.render().c_str());
+  }
+
+  // --- buffer threshold beta ------------------------------------------------
+  {
+    util::TextTable table({"beta (s)", "energy mJ/seg", "QoE", "fps", "stall s"});
+    for (double beta : {2.0, 3.0, 5.0}) {
+      sim::SessionConfig config;
+      config.seed = options.seed;
+      config.mpc.buffer_threshold_s = beta;
+      table.add_row(row(util::strfmt("%.0f", beta), run(workload, net, config)));
+    }
+    std::printf("\nPlayback buffer threshold beta (paper: 3 s) — more buffer "
+                "absorbs bandwidth dips but stales the viewport prediction\n%s",
+                table.render().c_str());
+  }
+
+  // --- clustering sigma/delta -------------------------------------------
+  {
+    util::TextTable table(
+        {"sigma (deg)", "energy mJ/seg", "QoE", "fps", "stall s"});
+    for (double sigma : {22.5, 45.0, 90.0}) {
+      sim::WorkloadConfig wc;
+      wc.seed = options.seed;
+      wc.ptile.clustering.sigma = sigma;
+      wc.ptile.clustering.delta = sigma / 4.0;
+      const sim::VideoWorkload ablated(trace::test_videos()[5], wc);
+      sim::SessionConfig config;
+      config.seed = options.seed;
+      table.add_row(row(util::strfmt("%.1f", sigma), run(ablated, net, config)));
+    }
+    std::printf("\nPtile diameter cap sigma with delta = sigma/4 (paper: one tile "
+                "width = 45 deg)\n%s",
+                table.render().c_str());
+  }
+
+  // --- training users ------------------------------------------------------
+  {
+    util::TextTable table({"training users", "energy mJ/seg", "QoE", "fps",
+                           "stall s"});
+    for (std::size_t users : {std::size_t{8}, std::size_t{16}, std::size_t{40}}) {
+      sim::WorkloadConfig wc;
+      wc.seed = options.seed;
+      wc.n_training_users = users;
+      // Hold the Ptile popularity threshold at the paper's 10% of the pool.
+      wc.ptile.min_users = std::max<std::size_t>(1, users / 8);
+      const sim::VideoWorkload ablated(trace::test_videos()[5], wc);
+      sim::SessionConfig config;
+      config.seed = options.seed;
+      table.add_row(row(util::strfmt("%zu", users), run(ablated, net, config)));
+    }
+    std::printf("\nTraining users for Ptile construction (paper: 40 of 48) — fewer "
+                "users -> noisier Ptiles -> more fallbacks\n%s",
+                table.render().c_str());
+  }
+
+  // --- QoE weights -----------------------------------------------------------
+  {
+    util::TextTable table({"(wv, wr)", "energy mJ/seg", "QoE", "fps", "stall s"});
+    for (auto [wv, wr] : {std::pair{0.0, 1.0}, std::pair{1.0, 1.0},
+                          std::pair{3.0, 1.0}, std::pair{1.0, 3.0}}) {
+      sim::SessionConfig config;
+      config.seed = options.seed;
+      config.mpc.weights.variation = wv;
+      config.mpc.weights.rebuffer = wr;
+      table.add_row(
+          row(util::strfmt("(%.0f, %.0f)", wv, wr), run(workload, net, config)));
+    }
+    std::printf("\nQoE weights (paper: (1, 1)) — note QoE values are not "
+                "comparable across rows (the metric itself changes)\n%s",
+                table.render().c_str());
+  }
+
+  // --- viewport predictor --------------------------------------------------
+  {
+    util::TextTable table({"predictor", "energy mJ/seg", "QoE", "fps", "stall s"});
+    for (auto kind : {predict::PredictorKind::kHold, predict::PredictorKind::kLinear,
+                      predict::PredictorKind::kRidge, predict::PredictorKind::kOracle}) {
+      sim::SessionConfig config;
+      config.seed = options.seed;
+      config.predictor_kind = kind;
+      table.add_row(row(predict::predictor_name(kind), run(workload, net, config)));
+    }
+    std::printf("\nViewport predictor (paper: ridge regression; oracle = perfect "
+                "prediction upper bound)\n%s",
+                table.render().c_str());
+  }
+
+  // --- bandwidth estimator ---------------------------------------------------
+  {
+    util::TextTable table({"estimator", "energy mJ/seg", "QoE", "fps", "stall s"});
+    for (auto kind :
+         {predict::BandwidthEstimatorKind::kLast, predict::BandwidthEstimatorKind::kMean,
+          predict::BandwidthEstimatorKind::kEwma,
+          predict::BandwidthEstimatorKind::kHarmonic}) {
+      sim::SessionConfig config;
+      config.seed = options.seed;
+      config.bandwidth_kind = kind;
+      table.add_row(
+          row(predict::bandwidth_estimator_name(kind), run(workload, net, config)));
+    }
+    std::printf("\nBandwidth estimator (paper: harmonic mean of the last "
+                "segments)\n%s",
+                table.render().c_str());
+  }
+
+  // --- frame ladder on/off ------------------------------------------------
+  {
+    util::TextTable table({"scheme", "energy mJ/seg", "QoE", "fps", "stall s"});
+    sim::SessionConfig config;
+    config.seed = options.seed;
+    table.add_row(row("Ours (with frame ladder)", run(workload, net, config)));
+    table.add_row(
+        row("Ptile (ladder disabled)", run(workload, net, config, sim::SchemeKind::kPtile)));
+    std::printf("\nFrame-rate adaptation (the delta between Ours and Ptile)\n%s",
+                table.render().c_str());
+  }
+
+  return 0;
+}

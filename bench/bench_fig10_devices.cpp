@@ -1,0 +1,44 @@
+// Fig. 10 — energy comparison on the other phones.
+//
+// Normalized energy (vs Ctile) of every scheme on the LG Nexus 5X (a) and
+// the Samsung Galaxy S20 (b). The ordering of Fig. 9 must hold on all three
+// devices.
+#include <cstdio>
+
+#include "bench/eval_common.h"
+#include "util/strings.h"
+
+using namespace ps360;
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv);
+  bench::print_header("bench_fig10_devices",
+                      "Fig. 10(a)/(b): normalized energy on Nexus 5X and Galaxy S20",
+                      options);
+
+  const auto energy_metric = [](const bench::EvalCell& c) {
+    return c.energy_per_segment_mj();
+  };
+
+  for (power::Device device : {power::Device::kNexus5X, power::Device::kGalaxyS20}) {
+    std::printf("\nFig. 10 — %s, energy normalized to Ctile\n",
+                power::device_name(device).c_str());
+    const bench::EvalGrid grid = bench::run_eval_grid(device, options);
+    util::TextTable table({"scheme", "trace 1", "trace 2"});
+    for (sim::SchemeKind scheme : sim::all_schemes()) {
+      table.add_row(
+          {sim::scheme_name(scheme),
+           util::format_ratio(grid.normalized_mean(1, scheme, energy_metric)),
+           util::format_ratio(grid.normalized_mean(2, scheme, energy_metric))});
+    }
+    std::printf("%s", table.render().c_str());
+    const double saving =
+        1.0 - 0.5 * (grid.normalized_mean(1, sim::SchemeKind::kOurs, energy_metric) +
+                     grid.normalized_mean(2, sim::SchemeKind::kOurs, energy_metric));
+    std::printf("Ours saving vs Ctile on %s: %s\n",
+                power::device_name(device).c_str(),
+                util::format_percent(saving).c_str());
+  }
+  std::printf("\npaper: the same ordering as Fig. 9 holds on both devices.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 4(a) + Table III — the video corpus.
+//
+// Prints the SI/TI content features of the 18-video catalog (the training
+// corpus of the Qo fit, Fig. 4a) and the Table III metadata of the 8
+// evaluation videos.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "trace/video_catalog.h"
+#include "util/strings.h"
+#include "video/content.h"
+
+using namespace ps360;
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv);
+  bench::print_header("bench_fig4_si_ti",
+                      "Fig. 4(a): SI/TI of the videos + Table III: the test videos",
+                      options);
+
+  util::TextTable fig4({"id", "content", "SI", "TI"});
+  for (const auto& video : trace::extended_videos()) {
+    const auto features = video::video_features(video, 1.0, options.seed);
+    fig4.add_row({util::strfmt("%d", video.id), video.name,
+                  util::strfmt("%.1f", features.si), util::strfmt("%.1f", features.ti)});
+  }
+  std::printf("\nFig. 4(a) — spatial and temporal information (segment means)\n%s",
+              fig4.render().c_str());
+
+  util::TextTable table3({"ID", "Length", "Content", "viewing"});
+  for (const auto& video : trace::test_videos()) {
+    const int minutes = static_cast<int>(video.duration_s) / 60;
+    const int seconds = static_cast<int>(video.duration_s) % 60;
+    table3.add_row({util::strfmt("%d", video.id),
+                    util::strfmt("%d:%02d", minutes, seconds), video.name,
+                    video.focused ? "focused" : "free"});
+  }
+  std::printf("\nTable III — the test videos\n%s", table3.render().c_str());
+  return 0;
+}

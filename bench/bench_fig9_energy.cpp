@@ -1,0 +1,103 @@
+// Fig. 9 — energy comparison on the Pixel 3.
+//  (a)/(b) per-video energy under network trace 1 / trace 2,
+//  (c) energy normalized to Ctile (paper: Ptile saves 30.3%, Ours 49.7% on
+//      average),
+//  (d) the three energy components for video 8 under trace 2 (paper: Ptile /
+//      Ours save 26.1% / 47.7% of transmission energy and 50.1% / 53.5% of
+//      decoding energy vs Ctile).
+#include <cstdio>
+
+#include "bench/eval_common.h"
+#include "util/strings.h"
+
+using namespace ps360;
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv);
+  bench::print_header("bench_fig9_energy",
+                      "Fig. 9(a)-(d): energy of the five schemes (Pixel 3)",
+                      options);
+
+  const bench::EvalGrid grid =
+      bench::run_eval_grid(power::Device::kPixel3, options);
+
+  for (int trace_id = 1; trace_id <= 2; ++trace_id) {
+    std::printf("\nFig. 9(%c) — energy per segment [mJ], trace %d\n",
+                trace_id == 1 ? 'a' : 'b', trace_id);
+    util::TextTable table({"video", "Ctile", "Ftile", "Nontile", "Ptile", "Ours"});
+    for (const auto& video : trace::test_videos()) {
+      bool have = true;
+      std::vector<std::string> row = {util::strfmt("%d", video.id)};
+      for (sim::SchemeKind scheme : sim::all_schemes()) {
+        try {
+          row.push_back(util::strfmt(
+              "%.0f", grid.at(video.id, trace_id, scheme).energy_per_segment_mj()));
+        } catch (const std::invalid_argument&) {
+          have = false;  // quick mode trims videos
+        }
+      }
+      if (have) table.add_row(std::move(row));
+    }
+    std::printf("%s", table.render().c_str());
+  }
+
+  std::printf("\nFig. 9(c) — energy normalized to Ctile (mean over videos)\n");
+  util::TextTable norm({"scheme", "trace 1", "trace 2", "paper (avg)"});
+  const auto energy_metric = [](const bench::EvalCell& c) {
+    return c.energy_per_segment_mj();
+  };
+  const char* paper[] = {"1.00", "-", "-", "0.697", "0.503"};
+  int i = 0;
+  for (sim::SchemeKind scheme : sim::all_schemes()) {
+    norm.add_row({sim::scheme_name(scheme),
+                  util::format_ratio(grid.normalized_mean(1, scheme, energy_metric)),
+                  util::format_ratio(grid.normalized_mean(2, scheme, energy_metric)),
+                  paper[i++]});
+  }
+  std::printf("%s", norm.render().c_str());
+  const double ours_saving =
+      1.0 - 0.5 * (grid.normalized_mean(1, sim::SchemeKind::kOurs, energy_metric) +
+                   grid.normalized_mean(2, sim::SchemeKind::kOurs, energy_metric));
+  const double ptile_saving =
+      1.0 - 0.5 * (grid.normalized_mean(1, sim::SchemeKind::kPtile, energy_metric) +
+                   grid.normalized_mean(2, sim::SchemeKind::kPtile, energy_metric));
+  std::printf("average saving vs Ctile: Ptile %s (paper 30.3%%), Ours %s "
+              "(paper 49.7%%)\n",
+              util::format_percent(ptile_saving).c_str(),
+              util::format_percent(ours_saving).c_str());
+
+  // Fig. 9(d): component breakdown for video 8 under trace 2.
+  const int video8 = options.quick ? trace::test_videos()[0].id : 8;
+  std::printf("\nFig. 9(d) — energy components, video %d, trace 2 [mJ/segment]\n",
+              video8);
+  util::TextTable parts({"scheme", "transmission", "decoding", "rendering"});
+  const auto& ctile = grid.at(video8, 2, sim::SchemeKind::kCtile);
+  for (sim::SchemeKind scheme : sim::all_schemes()) {
+    const auto& cell = grid.at(video8, 2, scheme);
+    const double n = static_cast<double>(cell.segments);
+    parts.add_row({sim::scheme_name(scheme),
+                   util::strfmt("%.0f", cell.result.energy.transmit_mj / n),
+                   util::strfmt("%.0f", cell.result.energy.decode_mj / n),
+                   util::strfmt("%.0f", cell.result.energy.render_mj / n)});
+  }
+  std::printf("%s", parts.render().c_str());
+  const auto& ptile = grid.at(video8, 2, sim::SchemeKind::kPtile);
+  const auto& ours = grid.at(video8, 2, sim::SchemeKind::kOurs);
+  std::printf("transmission saving vs Ctile: Ptile %s (paper 26.1%%), Ours %s "
+              "(paper 47.7%%)\n",
+              util::format_percent(1.0 - ptile.result.energy.transmit_mj /
+                                             ctile.result.energy.transmit_mj)
+                  .c_str(),
+              util::format_percent(1.0 - ours.result.energy.transmit_mj /
+                                             ctile.result.energy.transmit_mj)
+                  .c_str());
+  std::printf("decoding saving vs Ctile: Ptile %s (paper 50.1%%), Ours %s "
+              "(paper 53.5%%)\n",
+              util::format_percent(1.0 - ptile.result.energy.decode_mj /
+                                             ctile.result.energy.decode_mj)
+                  .c_str(),
+              util::format_percent(1.0 - ours.result.energy.decode_mj /
+                                             ctile.result.energy.decode_mj)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Shared helpers for the bench binaries: flag parsing (--seed N, --quick)
+// and the standard header each bench prints.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace ps360::bench {
+
+struct BenchOptions {
+  std::uint64_t seed = 42;
+  bool quick = false;  // fewer videos/users for a fast smoke run
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--seed N] [--quick]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return options;
+}
+
+inline void print_header(const char* experiment, const char* paper_ref,
+                         const BenchOptions& options) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("seed=%llu%s\n", static_cast<unsigned long long>(options.seed),
+              options.quick ? "  (--quick)" : "");
+  std::printf("================================================================\n");
+}
+
+}  // namespace ps360::bench

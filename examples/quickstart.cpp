@@ -1,0 +1,68 @@
+// quickstart — stream one 360° video with the energy-efficient, QoE-aware
+// controller and print what happened.
+//
+// This is the smallest end-to-end use of the public API:
+//   1. pick a video from the Table III catalog,
+//   2. build its workload (synthetic head traces, per-segment Ptiles),
+//   3. synthesize the paper's LTE network condition,
+//   4. simulate a session with the "Ours" scheme on a Pixel 3,
+//   5. read energy / QoE / frame-rate results.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "sim/session.h"
+
+using namespace ps360;
+
+int main() {
+  // 1. Video 8 — "Freestyle Skiing", a free-viewing sports clip.
+  const trace::VideoInfo& video = trace::test_videos()[7];
+  std::printf("video: %d (%s), %.0f s, %s viewing\n", video.id, video.name.c_str(),
+              video.duration_s, video.focused ? "focused" : "free");
+
+  // 2. The workload precomputes 48 users' head traces, the per-segment
+  //    content features, and the Ptiles built from the 40 training users.
+  sim::VideoWorkload workload(video, sim::WorkloadConfig{});
+  std::printf("segments: %zu, test users: %zu\n", workload.segment_count(),
+              workload.test_user_count());
+
+  // 3. Network trace 2 of the paper: LTE, 3.9 Mbps average.
+  const auto [trace1, trace2] = trace::make_paper_traces(/*seed=*/7, 700.0);
+
+  // 4. One session: test user 0, the paper's algorithm, default Pixel 3.
+  sim::SessionConfig config;
+  const sim::SessionResult ours =
+      sim::simulate_session(workload, /*test_user=*/0, sim::SchemeKind::kOurs,
+                            trace2, config);
+
+  // ... and the conventional tile baseline for comparison.
+  const sim::SessionResult ctile =
+      sim::simulate_session(workload, 0, sim::SchemeKind::kCtile, trace2, config);
+
+  // 5. Results.
+  std::printf("\n%-22s %12s %12s\n", "", "Ours", "Ctile");
+  std::printf("%-22s %9.0f mJ %9.0f mJ\n", "energy (total)", ours.energy.total_mj(),
+              ctile.energy.total_mj());
+  std::printf("%-22s %9.0f mJ %9.0f mJ\n", "  radio", ours.energy.transmit_mj,
+              ctile.energy.transmit_mj);
+  std::printf("%-22s %9.0f mJ %9.0f mJ\n", "  decoder", ours.energy.decode_mj,
+              ctile.energy.decode_mj);
+  std::printf("%-22s %12.1f %12.1f\n", "QoE (Eq. 2)", ours.qoe.mean_q,
+              ctile.qoe.mean_q);
+  std::printf("%-22s %12.2f %12.2f\n", "mean quality level", ours.mean_quality,
+              ctile.mean_quality);
+  std::printf("%-22s %12.1f %12.1f\n", "mean frame rate", ours.mean_fps,
+              ctile.mean_fps);
+  std::printf("%-22s %11.1fs %11.1fs\n", "stall time", ours.total_stall_s,
+              ctile.total_stall_s);
+  std::printf("%-22s %11.0f%% %11.0f%%\n", "segments via Ptile",
+              ours.ptile_usage * 100.0, 0.0);
+
+  std::printf("\nenergy saving: %.1f%%   QoE change: %+.1f%%\n",
+              (1.0 - ours.energy.total_mj() / ctile.energy.total_mj()) * 100.0,
+              (ours.qoe.mean_q / ctile.qoe.mean_q - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// viewport_prediction — how good is the ridge-regression predictor?
+//
+// Replays held-out users' head traces, predicts the viewing center at
+// several horizons, and reports the angular error and the fraction of time
+// the true center stays inside the predicted (FoV-sized) viewport — the
+// quantity that decides whether the downloaded Ptile ends up covering what
+// the user actually watches.
+//
+// Run: ./build/examples/viewport_prediction [video_id 1..8]
+#include <cstdio>
+#include <cstdlib>
+
+#include "predict/viewport_predictor.h"
+#include "trace/head_synth.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+using namespace ps360;
+
+int main(int argc, char** argv) {
+  const int video_id = argc > 1 ? std::atoi(argv[1]) : 6;
+  const trace::VideoInfo& video = trace::video_by_id(video_id);
+  std::printf("viewport prediction on video %d (%s), users 40..47 (held out)\n",
+              video.id, video.name.c_str());
+
+  const trace::HeadTraceSynthesizer synth;
+  const predict::ViewportPredictor predictor;
+
+  util::TextTable table({"horizon (s)", "mean error (deg)", "p90 error (deg)",
+                         "center inside FoV"});
+  for (double horizon : {0.25, 0.5, 1.0, 2.0, 3.0}) {
+    std::vector<double> errors;
+    std::size_t inside = 0, total = 0;
+    for (int user = 40; user < 48; ++user) {
+      const auto head = synth.synthesize(video, user);
+      for (double now = 2.0; now + horizon < head.duration(); now += 1.0) {
+        const auto predicted = predictor.predict(head, now, now + horizon);
+        const auto actual = head.center_at(now + horizon);
+        errors.push_back(geometry::angular_distance(predicted, actual));
+        const geometry::Viewport viewport(predicted, 100.0, 100.0);
+        if (viewport.contains(actual)) ++inside;
+        ++total;
+      }
+    }
+    table.add_row({util::strfmt("%.2f", horizon),
+                   util::strfmt("%.1f", util::mean(errors)),
+                   util::strfmt("%.1f", util::percentile(errors, 90.0)),
+                   util::format_percent(static_cast<double>(inside) /
+                                        static_cast<double>(total))});
+  }
+  std::printf("\n%s", table.render().c_str());
+  std::printf("\nshort horizons are reliable — which is why the paper keeps the "
+              "playback buffer small (3 s)\nand why the controller re-plans "
+              "every segment.\n");
+  return 0;
+}

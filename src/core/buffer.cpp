@@ -1,0 +1,49 @@
+#include "core/buffer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ps360::core {
+
+BufferModel::BufferModel(double segment_seconds, double threshold_s, double quantum_s)
+    : segment_seconds_(segment_seconds),
+      threshold_s_(threshold_s),
+      quantum_s_(quantum_s) {
+  PS360_CHECK(segment_seconds > 0.0);
+  PS360_CHECK(threshold_s > 0.0);
+  PS360_CHECK(quantum_s > 0.0 && quantum_s <= threshold_s);
+}
+
+BufferStep BufferModel::advance(double buffer_s, double download_s) const {
+  PS360_CHECK(buffer_s >= 0.0);
+  PS360_CHECK(download_s >= 0.0);
+  BufferStep step;
+  step.wait_s = std::max(buffer_s - threshold_s_, 0.0);
+  const double at_request = buffer_s - step.wait_s;
+  step.stall_s = std::max(download_s - at_request, 0.0);
+  step.next_buffer_s = std::max(at_request - download_s, 0.0) + segment_seconds_;
+  return step;
+}
+
+BufferStep BufferModel::advance_quantized(double buffer_s, double download_s) const {
+  BufferStep step = advance(buffer_s, download_s);
+  step.next_buffer_s = quantize(step.next_buffer_s);
+  return step;
+}
+
+double BufferModel::quantize(double buffer_s) const {
+  const double clamped = std::clamp(buffer_s, 0.0, cap_s());
+  return std::round(clamped / quantum_s_) * quantum_s_;
+}
+
+int BufferModel::bucket_of(double buffer_s) const {
+  return static_cast<int>(std::lround(quantize(buffer_s) / quantum_s_));
+}
+
+std::size_t BufferModel::bucket_count() const {
+  return static_cast<std::size_t>(std::lround(std::floor(cap_s() / quantum_s_))) + 1;
+}
+
+}  // namespace ps360::core

@@ -1,0 +1,275 @@
+#include "core/mpc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "core/buffer.h"
+#include "util/check.h"
+
+namespace ps360::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Eq. 6 buffer dynamics on the paper's 500 ms DP grid.
+BufferModel buffer_model_of(const MpcConfig& config) {
+  return BufferModel(config.segment_seconds, config.buffer_threshold_s,
+                     config.buffer_quantum_s);
+}
+
+}  // namespace
+
+const QualityOption& reference_option(const SegmentChoices& choices,
+                                      double bandwidth_bytes_per_s,
+                                      double budget_seconds) {
+  PS360_CHECK(!choices.options.empty());
+  PS360_CHECK(bandwidth_bytes_per_s > 0.0);
+  PS360_CHECK(budget_seconds > 0.0);
+  // "Highest possible bitrate level and frame rate": f_m is by definition
+  // the original (maximal) frame rate, so the reference is the best
+  // perceived quality sustainable *at the original frame rate* — the quality
+  // a non-energy-aware client would fetch. Ours and Ptile therefore share
+  // the same anchor; the frame ladder only ever trades quality downward.
+  std::size_t max_frame = 0;
+  for (const auto& option : choices.options)
+    max_frame = std::max(max_frame, option.frame_index);
+  const QualityOption* best = nullptr;
+  const QualityOption* cheapest = &choices.options.front();
+  for (const auto& option : choices.options) {
+    if (option.bytes < cheapest->bytes) cheapest = &option;
+    if (option.frame_index != max_frame) continue;
+    if (option.bytes / bandwidth_bytes_per_s > budget_seconds) continue;
+    if (best == nullptr || option.qo > best->qo ||
+        (option.qo == best->qo && option.bytes < best->bytes)) {
+      best = &option;
+    }
+  }
+  return best != nullptr ? *best : *cheapest;
+}
+
+MpcController::MpcController(MpcConfig config, const power::DeviceModel& device,
+                             MpcObjective objective)
+    : config_(config), device_(&device), objective_(objective) {
+  PS360_CHECK(config_.segment_seconds > 0.0);
+  PS360_CHECK(config_.buffer_threshold_s > 0.0);
+  PS360_CHECK(config_.buffer_quantum_s > 0.0 &&
+              config_.buffer_quantum_s <= config_.buffer_threshold_s);
+  PS360_CHECK(config_.epsilon >= 0.0 && config_.epsilon < 1.0);
+  PS360_CHECK(config_.stall_penalty_per_s >= 0.0);
+}
+
+power::SegmentEnergy MpcController::option_energy(const QualityOption& option,
+                                                  double bandwidth_bytes_per_s) const {
+  PS360_CHECK(bandwidth_bytes_per_s > 0.0);
+  return power::segment_energy(*device_, option.profile,
+                               option.bytes / bandwidth_bytes_per_s, option.fps,
+                               config_.segment_seconds);
+}
+
+namespace {
+
+// DP node key: (quantized buffer bucket, option index chosen for the previous
+// segment). The previous option matters only through its Qo (variation term),
+// but indexing by option keeps the key exact and small.
+struct StateKey {
+  int bucket = 0;
+  int prev_option = -1;  // -1 = "virtual" pre-horizon state
+
+  bool operator<(const StateKey& other) const {
+    return bucket != other.bucket ? bucket < other.bucket
+                                  : prev_option < other.prev_option;
+  }
+};
+
+struct StateValue {
+  double cost = kInf;        // minimized (energy, or negative QoE score)
+  int root_choice = -1;      // option index chosen at horizon[0] on this path
+  bool had_stall = false;
+};
+
+}  // namespace
+
+MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
+                                  double bandwidth_bytes_per_s, double buffer_s,
+                                  double prev_qo) const {
+  PS360_CHECK(!horizon.empty());
+  PS360_CHECK(bandwidth_bytes_per_s > 0.0);
+  PS360_CHECK(buffer_s >= 0.0);
+  for (const auto& seg : horizon) PS360_CHECK(!seg.options.empty());
+
+  const bool energy_mode = objective_ == MpcObjective::kMinEnergyQoEConstrained;
+
+  // ε-constraint reference quality per segment (energy mode).
+  std::vector<double> q_ref(horizon.size(), 0.0);
+  if (energy_mode) {
+    for (std::size_t i = 0; i < horizon.size(); ++i) {
+      q_ref[i] = reference_option(horizon[i], bandwidth_bytes_per_s,
+                                  config_.segment_seconds)
+                     .qo;
+    }
+  }
+
+  const BufferModel buffers = buffer_model_of(config_);
+  auto bucket_of = [&](double b) { return buffers.bucket_of(b); };
+
+  // strict = enforce no-stall + ε-constraint (energy mode); relaxed = allow
+  // everything, penalise stalls — used as fallback and as the kMaxQoE mode.
+  // Returns false if no complete path exists under the given strictness.
+  auto run = [&](bool strict, MpcDecision& decision) -> bool {
+    std::map<StateKey, StateValue> frontier;
+    frontier[{bucket_of(buffer_s), -1}] = StateValue{0.0, -1, false};
+
+    for (std::size_t i = 0; i < horizon.size(); ++i) {
+      std::map<StateKey, StateValue> next;
+      for (const auto& [key, value] : frontier) {
+        const double buffer_now =
+            static_cast<double>(key.bucket) * config_.buffer_quantum_s;
+        const double qo_prev =
+            key.prev_option < 0
+                ? prev_qo
+                : horizon[i - 1].options[static_cast<std::size_t>(key.prev_option)].qo;
+        for (std::size_t oi = 0; oi < horizon[i].options.size(); ++oi) {
+          const auto& option = horizon[i].options[oi];
+          const BufferStep step = buffers.advance_quantized(
+              buffer_now, option.bytes / bandwidth_bytes_per_s);
+          if (strict && energy_mode) {
+            if (step.stall_s > 0.0) continue;
+            if (option.qo < (1.0 - config_.epsilon) * q_ref[i]) continue;
+          }
+          double step_cost;
+          if (energy_mode) {
+            step_cost = option_energy(option, bandwidth_bytes_per_s).total_mj();
+            if (!strict) step_cost += 1e7 * step.stall_s;  // dominate energy scale
+          } else {
+            // A negative prev Qo means "no previous segment": no variation
+            // penalty on the first decision of a session.
+            const double variation =
+                qo_prev >= 0.0 ? std::fabs(option.qo - qo_prev) : 0.0;
+            const double q = option.qo - config_.weights.variation * variation -
+                             config_.stall_penalty_per_s * step.stall_s;
+            step_cost = -q;
+          }
+          const StateKey next_key{bucket_of(step.next_buffer_s), static_cast<int>(oi)};
+          const double total = value.cost + step_cost;
+          auto [it, inserted] = next.try_emplace(next_key);
+          if (inserted || total < it->second.cost) {
+            it->second.cost = total;
+            it->second.root_choice =
+                i == 0 ? static_cast<int>(oi) : value.root_choice;
+            it->second.had_stall = value.had_stall || step.stall_s > 0.0;
+          }
+        }
+      }
+      frontier = std::move(next);
+      if (frontier.empty()) break;
+    }
+
+    if (frontier.empty()) return false;  // no path at all
+    const StateValue* best = nullptr;
+    for (const auto& [key, value] : frontier) {
+      if (best == nullptr || value.cost < best->cost) best = &value;
+    }
+    PS360_ASSERT(best != nullptr && best->root_choice >= 0);
+    decision.choice =
+        horizon[0].options[static_cast<std::size_t>(best->root_choice)];
+    decision.objective = best->cost;
+    decision.feasible = !best->had_stall;
+    return true;
+  };
+
+  MpcDecision decision;
+  if (!run(/*strict=*/energy_mode, decision)) {
+    // No plan satisfies the constraints (e.g. bandwidth collapse): fall back
+    // to the relaxed problem and report infeasibility.
+    const bool found = run(/*strict=*/false, decision);
+    PS360_ASSERT_MSG(found, "relaxed MPC must always find a plan");
+    decision.feasible = false;
+  }
+  return decision;
+}
+
+MpcDecision MpcController::decide_exhaustive(const std::vector<SegmentChoices>& horizon,
+                                             double bandwidth_bytes_per_s,
+                                             double buffer_s, double prev_qo) const {
+  PS360_CHECK(!horizon.empty());
+  PS360_CHECK(bandwidth_bytes_per_s > 0.0);
+  const bool energy_mode = objective_ == MpcObjective::kMinEnergyQoEConstrained;
+
+  std::vector<double> q_ref(horizon.size(), 0.0);
+  if (energy_mode) {
+    for (std::size_t i = 0; i < horizon.size(); ++i) {
+      q_ref[i] = reference_option(horizon[i], bandwidth_bytes_per_s,
+                                  config_.segment_seconds)
+                     .qo;
+    }
+  }
+
+  struct Best {
+    double cost = kInf;
+    int root = -1;
+    bool stalled = false;
+  };
+  const BufferModel buffers = buffer_model_of(config_);
+
+  auto search = [&](bool strict) {
+    Best best;
+    // Depth-first enumeration of complete option sequences.
+    std::vector<std::size_t> picks(horizon.size(), 0);
+    auto recurse = [&](auto&& self, std::size_t depth, double buffer, double qo_prev,
+                       double cost, bool stalled) -> void {
+      if (depth == horizon.size()) {
+        if (cost < best.cost) {
+          best.cost = cost;
+          best.root = static_cast<int>(picks[0]);
+          best.stalled = stalled;
+        }
+        return;
+      }
+      for (std::size_t oi = 0; oi < horizon[depth].options.size(); ++oi) {
+        const auto& option = horizon[depth].options[oi];
+        const BufferStep step =
+            buffers.advance_quantized(buffer, option.bytes / bandwidth_bytes_per_s);
+        if (strict && energy_mode) {
+          if (step.stall_s > 0.0) continue;
+          if (option.qo < (1.0 - config_.epsilon) * q_ref[depth]) continue;
+        }
+        double step_cost;
+        if (energy_mode) {
+          step_cost = option_energy(option, bandwidth_bytes_per_s).total_mj();
+          if (!strict) step_cost += 1e7 * step.stall_s;
+        } else {
+          const double variation =
+              qo_prev >= 0.0 ? std::fabs(option.qo - qo_prev) : 0.0;
+          const double q = option.qo - config_.weights.variation * variation -
+                           config_.stall_penalty_per_s * step.stall_s;
+          step_cost = -q;
+        }
+        picks[depth] = oi;
+        self(self, depth + 1, step.next_buffer_s, option.qo, cost + step_cost,
+             stalled || step.stall_s > 0.0);
+      }
+    };
+    // Match decide(): the initial buffer is quantized before the first step.
+    recurse(recurse, 0, buffers.quantize(buffer_s), prev_qo, 0.0, false);
+    return best;
+  };
+
+  Best best = search(/*strict=*/energy_mode);
+  bool feasible = best.root >= 0 && !best.stalled;
+  if (energy_mode && best.root < 0) {
+    best = search(/*strict=*/false);
+    feasible = false;
+  }
+  MpcDecision decision;
+  if (best.root >= 0) {
+    decision.choice = horizon[0].options[static_cast<std::size_t>(best.root)];
+    decision.objective = best.cost;
+    decision.feasible = feasible;
+  }
+  return decision;
+}
+
+}  // namespace ps360::core

@@ -1,0 +1,109 @@
+// The model-predictive streaming controller — Section IV-C of the paper.
+//
+// Every segment, the client:
+//   (a) reads the buffer level and the metadata of the next H segments,
+//   (b) predicts bandwidth (harmonic mean, predict::HarmonicMeanEstimator),
+//   (c) solves the finite-horizon optimization of Eq. 8 by dynamic
+//       programming over discretised buffer states (500 ms granularity),
+//   (d) downloads segment k at the (v, f) the solution prescribes,
+//   (e) slides the window forward.
+//
+// Two objectives share the machinery:
+//   * kMinEnergyQoEConstrained — the paper's problem: minimise Σ E(T_k^{v,f})
+//     subject to no rebuffering (Eq. 6-7), one version per segment (8b), and
+//     the ε-constraint Q(v,f) >= (1-ε) Q(vm,fm) (8c), where (vm,fm) is the
+//     best version the estimated bandwidth could sustain.
+//   * kMaxQoE — the conventional MPC baseline (Yin et al. [24]) the Ctile /
+//     Ftile / Nontile / Ptile schemes run: maximise Σ Q with the Eq. 2
+//     variation and rebuffer penalties.
+//
+// The DP state is (buffer level, last chosen option); the transition follows
+// the buffer evolution of Eq. 6 exactly, including the pre-request wait
+// Δt = max(B - β, 0). Complexity O(H · states · V · F), as in the paper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "power/device_models.h"
+#include "power/energy.h"
+#include "qoe/qoe_model.h"
+
+namespace ps360::core {
+
+// One downloadable version of a segment: the (v, f) tuple plus everything
+// the controller needs to evaluate it.
+struct QualityOption {
+  int quality = 1;               // bitrate level v in [1, V]
+  std::size_t frame_index = 1;   // frame-rate ladder index (max = original)
+  double fps = 30.0;             // decoded/rendered frame rate
+  double bytes = 0.0;            // segment size at this version
+  double qo = 0.0;               // predicted perceived quality Qo (Eq. 3+4)
+  power::DecodeProfile profile = power::DecodeProfile::kPtile;
+};
+
+// The candidate versions of one future segment. Options must be non-empty.
+struct SegmentChoices {
+  std::vector<QualityOption> options;
+};
+
+enum class MpcObjective { kMaxQoE, kMinEnergyQoEConstrained };
+
+struct MpcConfig {
+  double segment_seconds = 1.0;    // L
+  double buffer_threshold_s = 3.0; // β
+  double buffer_quantum_s = 0.5;   // DP discretisation (paper: 500 ms)
+  double epsilon = 0.05;           // QoE loss tolerance of constraint (8c)
+  qoe::QoEWeights weights;         // (ω_v, ω_r) for the QoE objective
+  // Penalty per second of stall in the kMaxQoE objective (in Q units); the
+  // energy objective treats stalls as infeasible instead.
+  double stall_penalty_per_s = 150.0;
+};
+
+struct MpcDecision {
+  QualityOption choice;      // what to download for the head segment
+  bool feasible = false;     // false if every plan stalls (choice = fallback)
+  double objective = 0.0;    // optimal DP objective over the horizon
+};
+
+class MpcController {
+ public:
+  MpcController(MpcConfig config, const power::DeviceModel& device,
+                MpcObjective objective);
+
+  const MpcConfig& config() const { return config_; }
+  MpcObjective objective() const { return objective_; }
+
+  // Energy of one option under the bandwidth estimate (Eq. 1).
+  power::SegmentEnergy option_energy(const QualityOption& option,
+                                     double bandwidth_bytes_per_s) const;
+
+  // Solve the horizon. horizon[0] is the segment about to be requested;
+  // buffer_s is B_k; prev_qo is Qo_{k-1} for the variation term.
+  MpcDecision decide(const std::vector<SegmentChoices>& horizon,
+                     double bandwidth_bytes_per_s, double buffer_s,
+                     double prev_qo) const;
+
+  // Exhaustive-search reference implementation (exponential in H); used by
+  // tests to validate the DP. Semantics identical to decide().
+  MpcDecision decide_exhaustive(const std::vector<SegmentChoices>& horizon,
+                                double bandwidth_bytes_per_s, double buffer_s,
+                                double prev_qo) const;
+
+ private:
+  MpcConfig config_;
+  const power::DeviceModel* device_;
+  MpcObjective objective_;
+};
+
+// Reference quality for constraint (8c): the highest-(v,f) option the
+// bandwidth can *sustain* — i.e. whose download takes no longer than
+// `budget_seconds` (one segment duration: any more and the buffer drains a
+// little every segment until it stalls). Falls back to the cheapest option
+// if none qualifies.
+const QualityOption& reference_option(const SegmentChoices& choices,
+                                      double bandwidth_bytes_per_s,
+                                      double budget_seconds);
+
+}  // namespace ps360::core

@@ -1,0 +1,67 @@
+#include "geometry/angles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace ps360::geometry {
+
+double deg_to_rad(double deg) { return deg * std::numbers::pi / 180.0; }
+
+double rad_to_deg(double rad) { return rad * 180.0 / std::numbers::pi; }
+
+double wrap360(double deg) {
+  double w = std::fmod(deg, kDegreesPerTurn);
+  if (w < 0.0) w += kDegreesPerTurn;
+  // fmod of a value just below a multiple of 360 can round to exactly 360.
+  if (w >= kDegreesPerTurn) w = 0.0;
+  return w;
+}
+
+double wrap_delta(double a_deg, double b_deg) {
+  double d = std::fmod(a_deg - b_deg, kDegreesPerTurn);
+  if (d > 180.0) d -= kDegreesPerTurn;
+  if (d <= -180.0) d += kDegreesPerTurn;
+  return d;
+}
+
+double circular_distance(double a_deg, double b_deg) {
+  return std::fabs(wrap_delta(a_deg, b_deg));
+}
+
+double Vec3::dot(const Vec3& other) const {
+  return x * other.x + y * other.y + z * other.z;
+}
+
+double Vec3::norm() const { return std::sqrt(dot(*this)); }
+
+Vec3 Vec3::normalized() const {
+  const double n = norm();
+  PS360_CHECK_MSG(n > 0.0, "cannot normalize a zero vector");
+  return Vec3{x / n, y / n, z / n};
+}
+
+Vec3 orientation_vector(double lon_deg, double colat_deg) {
+  PS360_CHECK(colat_deg >= 0.0 && colat_deg <= 180.0);
+  const double lon = deg_to_rad(wrap360(lon_deg));
+  const double colat = deg_to_rad(colat_deg);
+  return Vec3{std::sin(colat) * std::cos(lon), std::sin(colat) * std::sin(lon),
+              std::cos(colat)};
+}
+
+double angular_distance_deg(const Vec3& a, const Vec3& b) {
+  const double na = a.norm();
+  const double nb = b.norm();
+  PS360_CHECK(na > 0.0 && nb > 0.0);
+  const double cosine = std::clamp(a.dot(b) / (na * nb), -1.0, 1.0);
+  return rad_to_deg(std::acos(cosine));
+}
+
+double switching_speed_deg_per_s(const Vec3& from, const Vec3& to, double dt_s) {
+  PS360_CHECK(dt_s > 0.0);
+  return angular_distance_deg(from, to) / dt_s;
+}
+
+}  // namespace ps360::geometry

@@ -1,0 +1,56 @@
+// Angular math on the sphere and the equirectangular plane.
+//
+// Conventions used throughout pstream360:
+//  - Longitude (yaw)  x in [0, 360) degrees, wraps around.
+//  - Colatitude       y in [0, 180] degrees, 0 = zenith (top of the frame),
+//                     no wrap. A head "pitch" of p degrees (+up) maps to
+//                     y = 90 - p.
+//  - The equirectangular frame is W x H (e.g. 3840x2160) pixels covering the
+//    full 360 x 180 degree sphere; we work in degrees and convert only for
+//    display.
+//
+// Eq. 5 of the paper defines view-switching speed from 3-D orientation
+// vectors; `orientation_vector` and `angular_distance_deg` implement that.
+#pragma once
+
+namespace ps360::geometry {
+
+inline constexpr double kDegreesPerTurn = 360.0;
+
+double deg_to_rad(double deg);
+double rad_to_deg(double rad);
+
+// Wrap an angle into [0, 360).
+double wrap360(double deg);
+
+// Shortest signed angular difference a - b, result in (-180, 180].
+double wrap_delta(double a_deg, double b_deg);
+
+// Absolute shortest angular distance between two longitudes, in [0, 180].
+double circular_distance(double a_deg, double b_deg);
+
+// 3-D unit vector on the sphere.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  double dot(const Vec3& other) const;
+  double norm() const;
+  Vec3 normalized() const;  // requires non-zero norm
+};
+
+// Unit orientation vector for a viewing direction given as longitude
+// (yaw, degrees) and colatitude (degrees). Uses the standard spherical
+// parameterisation: z is the zenith axis.
+Vec3 orientation_vector(double lon_deg, double colat_deg);
+
+// Great-circle (angular) distance between two unit orientation vectors, in
+// degrees. This is the arccos term in Eq. 5.
+double angular_distance_deg(const Vec3& a, const Vec3& b);
+
+// Eq. 5: view-switching speed in degrees/second between two orientations
+// sampled dt seconds apart (dt > 0).
+double switching_speed_deg_per_s(const Vec3& from, const Vec3& to, double dt_s);
+
+}  // namespace ps360::geometry

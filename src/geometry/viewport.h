@@ -1,0 +1,98 @@
+// Viewing centers and viewports (FoV regions) on the equirectangular plane.
+#pragma once
+
+#include <vector>
+
+#include "geometry/angles.h"
+
+namespace ps360::geometry {
+
+// A point on the equirectangular plane: x = longitude in [0,360) (wraps),
+// y = colatitude in [0,180].
+struct EquirectPoint {
+  double x = 0.0;
+  double y = 90.0;
+
+  // Construct with validation (x is wrapped, y must be within [0,180]).
+  static EquirectPoint make(double x_deg, double y_deg);
+
+  // 3-D unit orientation for Eq. 5.
+  Vec3 orientation() const;
+};
+
+// Distance on the equirectangular plane with longitude wraparound. This is
+// the dist(u, n) used by the Ptile clustering (Algorithm 1): the paper
+// clusters (x, y) viewing centers with Euclidean distance; we additionally
+// honour the x wraparound so that centers at 359 and 1 degree are close.
+double wrapped_distance(const EquirectPoint& a, const EquirectPoint& b);
+
+// Angular (great-circle) distance in degrees between two viewing centers.
+double angular_distance(const EquirectPoint& a, const EquirectPoint& b);
+
+// A closed interval of longitudes [lo, lo+width] that may wrap around 360.
+// width is in [0, 360].
+struct LonInterval {
+  double lo = 0.0;     // wrapped into [0,360)
+  double width = 0.0;  // degrees
+
+  static LonInterval make(double lo_deg, double width_deg);
+
+  bool contains(double lon_deg) const;
+
+  // The smallest interval containing both (used when growing cluster spans).
+  // If the union cannot be covered by a single arc < 360 degrees, returns a
+  // full-circle interval.
+  LonInterval united(const LonInterval& other) const;
+};
+
+// Minimal arc (lo, width) covering all given longitudes. For an empty input
+// returns a zero-width arc at 0. Works by sorting and finding the largest
+// angular gap.
+LonInterval minimal_covering_arc(std::vector<double> lons_deg);
+
+// Rectangular viewing area on the equirect plane: a longitude interval that
+// may wrap, and a colatitude interval clamped to [0,180].
+struct EquirectRect {
+  LonInterval lon;
+  double y_lo = 0.0;
+  double y_hi = 0.0;  // y_lo <= y_hi
+
+  static EquirectRect make(LonInterval lon, double y_lo, double y_hi);
+
+  double height() const { return y_hi - y_lo; }
+  double area_deg2() const { return lon.width * height(); }
+  // Fraction of the full 360x180 frame.
+  double area_fraction() const { return area_deg2() / (360.0 * 180.0); }
+
+  bool contains(const EquirectPoint& p) const;
+
+  // Smallest rect covering both.
+  EquirectRect united(const EquirectRect& other) const;
+
+  // Fraction of `other`'s area that this rect covers (0 if disjoint).
+  double coverage_of(const EquirectRect& other) const;
+};
+
+// A user's viewport: viewing center plus the device field of view
+// (100 x 100 degrees by default, per the paper).
+class Viewport {
+ public:
+  Viewport(EquirectPoint center, double fov_h_deg = 100.0, double fov_v_deg = 100.0);
+
+  const EquirectPoint& center() const { return center_; }
+  double fov_h() const { return fov_h_; }
+  double fov_v() const { return fov_v_; }
+
+  // The viewing area as an equirect rect. The vertical extent is clamped to
+  // the frame; the horizontal extent may wrap.
+  EquirectRect area() const;
+
+  bool contains(const EquirectPoint& p) const { return area().contains(p); }
+
+ private:
+  EquirectPoint center_;
+  double fov_h_;
+  double fov_v_;
+};
+
+}  // namespace ps360::geometry

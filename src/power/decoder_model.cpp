@@ -1,0 +1,62 @@
+#include "power/decoder_model.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ps360::power {
+
+DecoderConcurrencyModel::DecoderConcurrencyModel(DecoderModelConfig config)
+    : config_(config) {
+  PS360_CHECK(config_.time_1dec_s > config_.time_floor_s);
+  PS360_CHECK(config_.time_floor_s > 0.0);
+  PS360_CHECK(config_.power_1dec_mw > 0.0);
+  PS360_CHECK(config_.ptile_time_s > 0.0 && config_.ptile_power_mw > 0.0);
+  PS360_CHECK(config_.pipeline_base_mw >= 0.0);
+}
+
+double DecoderConcurrencyModel::decode_time_s(std::size_t n_decoders) const {
+  PS360_CHECK(n_decoders >= 1);
+  const double n = static_cast<double>(n_decoders);
+  return config_.time_floor_s + (config_.time_1dec_s - config_.time_floor_s) *
+                                    std::pow(n, -config_.time_exponent);
+}
+
+double DecoderConcurrencyModel::decode_power_mw(std::size_t n_decoders) const {
+  PS360_CHECK(n_decoders >= 1);
+  return config_.power_1dec_mw *
+         std::pow(static_cast<double>(n_decoders), config_.power_exponent);
+}
+
+double DecoderConcurrencyModel::decode_energy_mj(std::size_t n_decoders) const {
+  return (config_.pipeline_base_mw + decode_power_mw(n_decoders)) *
+         decode_time_s(n_decoders);
+}
+
+double DecoderConcurrencyModel::processing_energy_mj(std::size_t n_decoders) const {
+  return decode_energy_mj(n_decoders) + config_.render_mj_per_segment;
+}
+
+double DecoderConcurrencyModel::ptile_decode_energy_mj() const {
+  return (config_.pipeline_base_mw + config_.ptile_power_mw) * config_.ptile_time_s;
+}
+
+double DecoderConcurrencyModel::ptile_processing_energy_mj() const {
+  return ptile_decode_energy_mj() + config_.render_mj_per_segment;
+}
+
+std::size_t DecoderConcurrencyModel::best_decoder_count(std::size_t max_n) const {
+  PS360_CHECK(max_n >= 1);
+  std::size_t best = 1;
+  double best_energy = processing_energy_mj(1);
+  for (std::size_t n = 2; n <= max_n; ++n) {
+    const double e = processing_energy_mj(n);
+    if (e < best_energy) {
+      best_energy = e;
+      best = n;
+    }
+  }
+  return best;
+}
+
+}  // namespace ps360::power

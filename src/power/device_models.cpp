@@ -1,0 +1,64 @@
+#include "power/device_models.h"
+
+#include "util/check.h"
+
+namespace ps360::power {
+
+const std::string& device_name(Device device) {
+  static const std::array<std::string, kDeviceCount> names = {
+      "Nexus 5X", "Pixel 3", "Galaxy S20"};
+  return names[static_cast<std::size_t>(device)];
+}
+
+const std::string& decode_profile_name(DecodeProfile profile) {
+  static const std::array<std::string, kDecodeProfileCount> names = {
+      "Ctile", "Ftile", "Nontile", "Ptile"};
+  return names[static_cast<std::size_t>(profile)];
+}
+
+double LinearPower::at(double fps) const {
+  PS360_CHECK(fps >= 0.0);
+  return base_mw + slope_mw_per_fps * fps;
+}
+
+double DeviceModel::decode_mw(DecodeProfile profile, double fps) const {
+  return decode[static_cast<std::size_t>(profile)].at(fps);
+}
+
+double DeviceModel::render_mw(double fps) const { return render.at(fps); }
+
+const DeviceModel& device_model(Device device) {
+  // Table I, transcribed verbatim.
+  static const std::array<DeviceModel, kDeviceCount> models = {
+      DeviceModel{
+          "Nexus 5X",
+          1709.12,
+          {LinearPower{1160.41, 16.53},   // Ctile
+           LinearPower{832.45, 15.31},    // Ftile
+           LinearPower{447.17, 14.51},    // Nontile
+           LinearPower{210.65, 5.55}},    // Ptile
+          LinearPower{79.46, 11.74},
+      },
+      DeviceModel{
+          "Pixel 3",
+          1429.08,
+          {LinearPower{574.89, 15.46},
+           LinearPower{386.45, 13.23},
+           LinearPower{209.92, 10.95},
+           LinearPower{140.73, 5.96}},
+          LinearPower{57.76, 4.19},
+      },
+      DeviceModel{
+          "Galaxy S20",
+          1527.39,
+          {LinearPower{798.99, 16.49},
+           LinearPower{658.41, 14.69},
+           LinearPower{305.55, 11.41},
+           LinearPower{152.72, 6.13}},
+          LinearPower{108.21, 3.98},
+      },
+  };
+  return models[static_cast<std::size_t>(device)];
+}
+
+}  // namespace ps360::power

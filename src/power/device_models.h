@@ -1,0 +1,59 @@
+// Per-device power models — Table I of the paper.
+//
+// The paper measures three phones with a Monsoon power monitor through a
+// custom battery interceptor and fits linear models in the frame rate f:
+//
+//   * data transmission: a constant P_t while the radio is active,
+//   * video decoding:    P_d(f) = a + b f, one model per tiling scheme
+//                        (more concurrent decoders -> higher a and b),
+//   * view rendering:    P_r(f) = a + b f.
+//
+// Bitrate does not appear: quantization affects bits and perceived quality,
+// but decode/render complexity is driven by resolution and frame rate
+// (Section III-B). All values are in milliwatts, f in frames/second.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace ps360::power {
+
+enum class Device { kNexus5X = 0, kPixel3 = 1, kGalaxyS20 = 2 };
+inline constexpr std::size_t kDeviceCount = 3;
+inline constexpr std::array<Device, kDeviceCount> kAllDevices = {
+    Device::kNexus5X, Device::kPixel3, Device::kGalaxyS20};
+
+// Which decoding pipeline runs: the conventional 4x8 grid with four parallel
+// decoders (Ctile), the view-clustered variable tiles (Ftile, also multiple
+// decoders), the untiled whole-frame stream (Nontile, one decoder on a large
+// frame), or the Ptile pipeline (one decoder on one large tile). The "Ours"
+// scheme decodes Ptiles, so it shares kPtile.
+enum class DecodeProfile { kCtile = 0, kFtile = 1, kNontile = 2, kPtile = 3 };
+inline constexpr std::size_t kDecodeProfileCount = 4;
+
+const std::string& device_name(Device device);
+const std::string& decode_profile_name(DecodeProfile profile);
+
+// P(f) = base + slope * f, in mW.
+struct LinearPower {
+  double base_mw = 0.0;
+  double slope_mw_per_fps = 0.0;
+
+  double at(double fps) const;
+};
+
+struct DeviceModel {
+  std::string name;
+  double transmit_mw = 0.0;  // P_t while the radio is downloading
+  std::array<LinearPower, kDecodeProfileCount> decode;  // P_d(f) per profile
+  LinearPower render;                                   // P_r(f)
+
+  double decode_mw(DecodeProfile profile, double fps) const;
+  double render_mw(double fps) const;
+};
+
+// The Table I model for a device (static data, always available).
+const DeviceModel& device_model(Device device);
+
+}  // namespace ps360::power

@@ -1,0 +1,27 @@
+#include "power/energy.h"
+
+#include "util/check.h"
+
+namespace ps360::power {
+
+SegmentEnergy& SegmentEnergy::operator+=(const SegmentEnergy& other) {
+  transmit_mj += other.transmit_mj;
+  decode_mj += other.decode_mj;
+  render_mj += other.render_mj;
+  return *this;
+}
+
+SegmentEnergy segment_energy(const DeviceModel& device, DecodeProfile profile,
+                             double download_seconds, double fps,
+                             double segment_seconds) {
+  PS360_CHECK(download_seconds >= 0.0);
+  PS360_CHECK(fps > 0.0);
+  PS360_CHECK(segment_seconds > 0.0);
+  SegmentEnergy e;
+  e.transmit_mj = device.transmit_mw * download_seconds;
+  e.decode_mj = device.decode_mw(profile, fps) * segment_seconds;
+  e.render_mj = device.render_mw(fps) * segment_seconds;
+  return e;
+}
+
+}  // namespace ps360::power

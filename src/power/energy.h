@@ -1,0 +1,36 @@
+// Per-segment energy accounting — Eq. 1 of the paper.
+//
+//   E(T_k^{v,f}) = E_t + E_d + E_r
+//     E_t = P_t        * (segment bytes / download throughput)
+//     E_d = P_d(f)     * L
+//     E_r = P_r(f)     * L
+//
+// The radio is powered for exactly the time it spends downloading; decoding
+// and rendering run for the playback duration L of the segment.
+#pragma once
+
+#include "power/device_models.h"
+
+namespace ps360::power {
+
+struct SegmentEnergy {
+  double transmit_mj = 0.0;
+  double decode_mj = 0.0;
+  double render_mj = 0.0;
+
+  double total_mj() const { return transmit_mj + decode_mj + render_mj; }
+
+  SegmentEnergy& operator+=(const SegmentEnergy& other);
+  friend SegmentEnergy operator+(SegmentEnergy a, const SegmentEnergy& b) {
+    return a += b;
+  }
+};
+
+// Energy to download (for `download_seconds`), decode and render one
+// `segment_seconds`-long segment at frame rate `fps` on `device` using the
+// given decode pipeline. mW * s = mJ.
+SegmentEnergy segment_energy(const DeviceModel& device, DecodeProfile profile,
+                             double download_seconds, double fps,
+                             double segment_seconds);
+
+}  // namespace ps360::power

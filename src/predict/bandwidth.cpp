@@ -1,0 +1,27 @@
+#include "predict/bandwidth.h"
+
+#include "util/check.h"
+
+namespace ps360::predict {
+
+HarmonicMeanEstimator::HarmonicMeanEstimator(std::size_t window,
+                                             double initial_bytes_per_s)
+    : window_(window), initial_(initial_bytes_per_s) {
+  PS360_CHECK(window >= 1);
+  PS360_CHECK(initial_bytes_per_s > 0.0);
+}
+
+void HarmonicMeanEstimator::observe(double bytes_per_s) {
+  PS360_CHECK(bytes_per_s > 0.0);
+  history_.push_back(bytes_per_s);
+  if (history_.size() > window_) history_.pop_front();
+}
+
+double HarmonicMeanEstimator::estimate() const {
+  if (history_.empty()) return initial_;
+  double reciprocal_sum = 0.0;
+  for (double rate : history_) reciprocal_sum += 1.0 / rate;
+  return static_cast<double>(history_.size()) / reciprocal_sum;
+}
+
+}  // namespace ps360::predict

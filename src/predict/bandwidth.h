@@ -1,0 +1,34 @@
+// Bandwidth estimation (Section IV-C).
+//
+// The controller predicts the next segments' throughput as the harmonic
+// mean of the last few segments' observed download rates — the harmonic
+// mean damps transient spikes that would otherwise cause over-fetching.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+namespace ps360::predict {
+
+class HarmonicMeanEstimator {
+ public:
+  // `window` past observations contribute; `initial_bytes_per_s` is
+  // returned until the first observation arrives.
+  explicit HarmonicMeanEstimator(std::size_t window = 5,
+                                 double initial_bytes_per_s = 500e3);
+
+  // Record an observed download rate (bytes/second, > 0).
+  void observe(double bytes_per_s);
+
+  // Current estimate (bytes/second).
+  double estimate() const;
+
+  std::size_t observations() const { return history_.size(); }
+
+ private:
+  std::size_t window_;
+  double initial_;
+  std::deque<double> history_;
+};
+
+}  // namespace ps360::predict

@@ -1,0 +1,43 @@
+// Alternative bandwidth estimators.
+//
+// The paper uses the harmonic mean of the last few segments' download rates
+// and points at ARBITER+ / LinkForecast [25, 26] for fancier options. These
+// implementations make the choice measurable:
+//
+//   * kLast     — the most recent observation (jumpy),
+//   * kMean     — sliding arithmetic mean (over-reacts to spikes),
+//   * kEwma     — exponentially weighted moving average,
+//   * kHarmonic — the paper's choice (HarmonicMeanEstimator).
+//
+// All share one interface so the session simulator and the ablation bench
+// can swap them.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "predict/bandwidth.h"
+
+namespace ps360::predict {
+
+enum class BandwidthEstimatorKind { kLast = 0, kMean = 1, kEwma = 2, kHarmonic = 3 };
+inline constexpr std::size_t kBandwidthEstimatorKindCount = 4;
+
+const std::string& bandwidth_estimator_name(BandwidthEstimatorKind kind);
+
+class BandwidthEstimator {
+ public:
+  virtual ~BandwidthEstimator() = default;
+  // Record an observed download rate (bytes/second, > 0).
+  virtual void observe(double bytes_per_s) = 0;
+  // Current estimate (bytes/second, > 0).
+  virtual double estimate() const = 0;
+};
+
+// Factory. `window` applies to kMean/kHarmonic; `ewma_alpha` to kEwma.
+std::unique_ptr<BandwidthEstimator> make_bandwidth_estimator(
+    BandwidthEstimatorKind kind, std::size_t window = 5,
+    double initial_bytes_per_s = 500e3, double ewma_alpha = 0.4);
+
+}  // namespace ps360::predict

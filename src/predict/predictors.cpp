@@ -1,0 +1,73 @@
+#include "predict/predictors.h"
+
+#include <array>
+#include <string>
+
+#include "util/check.h"
+
+namespace ps360::predict {
+
+const std::string& predictor_name(PredictorKind kind) {
+  static const std::array<std::string, kPredictorKindCount> names = {
+      "hold", "linear", "ridge", "oracle"};
+  return names[static_cast<std::size_t>(kind)];
+}
+
+ViewportPredictorConfig make_predictor_config(PredictorKind kind,
+                                              ViewportPredictorConfig base) {
+  switch (kind) {
+    case PredictorKind::kHold:
+      // Degree-1 basis with an overwhelming trend penalty: the fit collapses
+      // to the window mean, and the prediction holds it. (A true "last
+      // sample" hold is handled in predict_with below; this config is what
+      // a hold looks like inside the shared machinery.)
+      base.poly_degree = 1;
+      base.lambda = 1e9;
+      return base;
+    case PredictorKind::kLinear:
+      base.poly_degree = 1;
+      base.lambda = 0.0;
+      return base;
+    case PredictorKind::kRidge:
+      return base;
+    case PredictorKind::kOracle:
+      // The oracle bypasses the regression entirely (see predict_with); the
+      // config only matters for recent_switching_speed, so keep the base.
+      return base;
+  }
+  throw std::invalid_argument("unknown predictor kind");
+}
+
+geometry::EquirectPoint predict_with(PredictorKind kind, const trace::HeadTrace& trace,
+                                     double now_t, double target_t,
+                                     ViewportPredictorConfig base) {
+  if (kind == PredictorKind::kHold) {
+    PS360_CHECK(target_t >= now_t);
+    return trace.center_at(now_t);
+  }
+  if (kind == PredictorKind::kOracle) {
+    PS360_CHECK(target_t >= now_t);
+    return trace.center_at(target_t);  // ground truth, deliberately acausal
+  }
+  const ViewportPredictor predictor(make_predictor_config(kind, base));
+  return predictor.predict(trace, now_t, target_t);
+}
+
+double mean_prediction_error(PredictorKind kind, const trace::HeadTrace& trace,
+                             double horizon_s, double stride_s,
+                             ViewportPredictorConfig base) {
+  PS360_CHECK(horizon_s > 0.0);
+  PS360_CHECK(stride_s > 0.0);
+  double total = 0.0;
+  std::size_t count = 0;
+  for (double now = base.history_seconds + 1.0; now + horizon_s < trace.duration();
+       now += stride_s) {
+    const auto predicted = predict_with(kind, trace, now, now + horizon_s, base);
+    total += geometry::angular_distance(predicted, trace.center_at(now + horizon_s));
+    ++count;
+  }
+  PS360_CHECK_MSG(count > 0, "trace too short for this horizon");
+  return total / static_cast<double>(count);
+}
+
+}  // namespace ps360::predict

@@ -1,0 +1,171 @@
+#include "ptile/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace ps360::ptile {
+
+using geometry::EquirectPoint;
+
+std::vector<std::vector<std::size_t>> KMeansResult::groups() const {
+  std::vector<std::vector<std::size_t>> out(centroids.size());
+  for (std::size_t i = 0; i < assignment.size(); ++i) out[assignment[i]].push_back(i);
+  return out;
+}
+
+EquirectPoint centroid(const std::vector<EquirectPoint>& points,
+                       const std::vector<std::size_t>& member_indices,
+                       const std::vector<double>& weights) {
+  PS360_CHECK(!member_indices.empty());
+  double sx = 0.0, sy = 0.0, y_sum = 0.0, w_sum = 0.0;
+  for (std::size_t idx : member_indices) {
+    PS360_CHECK(idx < points.size());
+    const double w = weights.empty() ? 1.0 : weights[idx];
+    const double rad = geometry::deg_to_rad(points[idx].x);
+    sx += w * std::cos(rad);
+    sy += w * std::sin(rad);
+    y_sum += w * points[idx].y;
+    w_sum += w;
+  }
+  PS360_CHECK_MSG(w_sum > 0.0, "centroid of zero-weight members");
+  double x;
+  if (std::fabs(sx) < 1e-12 && std::fabs(sy) < 1e-12) {
+    x = points[member_indices.front()].x;  // antipodal degenerate case
+  } else {
+    x = geometry::wrap360(geometry::rad_to_deg(std::atan2(sy, sx)));
+  }
+  return EquirectPoint{x, std::clamp(y_sum / w_sum, 0.0, 180.0)};
+}
+
+namespace {
+
+double weight_of(const std::vector<double>& weights, std::size_t i) {
+  return weights.empty() ? 1.0 : weights[i];
+}
+
+KMeansResult lloyd_iterate(const std::vector<EquirectPoint>& points,
+                           const std::vector<double>& weights,
+                           std::vector<EquirectPoint> centroids,
+                           std::size_t max_iterations) {
+  const std::size_t k = centroids.size();
+  KMeansResult result;
+  result.assignment.assign(points.size(), 0);
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = geometry::wrapped_distance(points[i], centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (result.assignment[i] != best_c) {
+        result.assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Recompute centroids; an emptied cluster keeps its previous centroid.
+    std::vector<std::vector<std::size_t>> members(k);
+    for (std::size_t i = 0; i < points.size(); ++i)
+      members[result.assignment[i]].push_back(i);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (!members[c].empty()) centroids[c] = centroid(points, members[c], weights);
+    }
+  }
+
+  result.centroids = std::move(centroids);
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double d =
+        geometry::wrapped_distance(points[i], result.centroids[result.assignment[i]]);
+    result.inertia += weight_of(weights, i) * d * d;
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<EquirectPoint>& points,
+                    const std::vector<double>& weights, std::size_t k,
+                    util::Rng& rng, std::size_t max_iterations) {
+  PS360_CHECK(k >= 1 && k <= points.size());
+  PS360_CHECK(weights.empty() || weights.size() == points.size());
+
+  // k-means++ seeding on weighted squared distances.
+  std::vector<EquirectPoint> seeds;
+  seeds.reserve(k);
+  // First seed: weighted draw.
+  double w_total = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) w_total += weight_of(weights, i);
+  PS360_CHECK_MSG(w_total > 0.0, "kmeans requires positive total weight");
+  {
+    double u = rng.uniform() * w_total;
+    std::size_t pick = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      u -= weight_of(weights, i);
+      if (u <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    seeds.push_back(points[pick]);
+  }
+  std::vector<double> d2(points.size());
+  while (seeds.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& s : seeds)
+        best = std::min(best, geometry::wrapped_distance(points[i], s));
+      d2[i] = weight_of(weights, i) * best * best;
+      total += d2[i];
+    }
+    std::size_t pick = points.size() - 1;
+    if (total > 0.0) {
+      double u = rng.uniform() * total;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        u -= d2[i];
+        if (u <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+    } else {
+      pick = static_cast<std::size_t>(rng.uniform_index(points.size()));
+    }
+    seeds.push_back(points[pick]);
+  }
+
+  return lloyd_iterate(points, weights, std::move(seeds), max_iterations);
+}
+
+KMeansResult kmeans_split2(const std::vector<EquirectPoint>& points,
+                           std::size_t max_iterations) {
+  PS360_CHECK(points.size() >= 2);
+  // Farthest pair as deterministic seeds (O(n^2); Algorithm 1 clusters are
+  // small).
+  std::size_t a = 0, b = 1;
+  double best = -1.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      const double d = geometry::wrapped_distance(points[i], points[j]);
+      if (d > best) {
+        best = d;
+        a = i;
+        b = j;
+      }
+    }
+  }
+  return lloyd_iterate(points, {}, {points[a], points[b]}, max_iterations);
+}
+
+}  // namespace ps360::ptile

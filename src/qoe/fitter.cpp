@@ -1,0 +1,108 @@
+#include "qoe/fitter.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/matrix.h"
+#include "util/stats.h"
+
+namespace ps360::qoe {
+
+namespace {
+
+double predict(const QoParams& p, const VmafSample& s) {
+  const double z = p.c1 + p.c2 * s.si + p.c3 * s.ti + p.c4 * s.b;
+  return 100.0 / (1.0 + std::exp(-z));
+}
+
+double sse(const QoParams& p, const std::vector<VmafSample>& samples) {
+  double total = 0.0;
+  for (const auto& s : samples) {
+    const double r = s.vmaf - predict(p, s);
+    total += r * r;
+  }
+  return total;
+}
+
+}  // namespace
+
+QoFitResult fit_qo_params(const std::vector<VmafSample>& samples,
+                          const QoFitOptions& options) {
+  PS360_CHECK_MSG(samples.size() >= 4, "need at least 4 samples to fit 4 parameters");
+
+  QoParams p{0.0, 0.0, 0.0, 0.0};
+  double damping = options.initial_damping;
+  double current_sse = sse(p, samples);
+
+  QoFitResult result;
+  const std::size_t n = samples.size();
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Build J^T J and J^T r for the current parameters. The model is
+    // y = 100 σ(z), dy/dc_j = 100 σ(z)(1-σ(z)) x_j.
+    util::Matrix jtj(4, 4);
+    std::vector<double> jtr(4, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& s = samples[i];
+      const double z = p.c1 + p.c2 * s.si + p.c3 * s.ti + p.c4 * s.b;
+      const double sigma = 1.0 / (1.0 + std::exp(-z));
+      const double dsig = 100.0 * sigma * (1.0 - sigma);
+      const double x[4] = {1.0, s.si, s.ti, s.b};
+      const double residual = s.vmaf - 100.0 * sigma;
+      for (std::size_t a = 0; a < 4; ++a) {
+        jtr[a] += dsig * x[a] * residual;
+        for (std::size_t b = 0; b < 4; ++b) jtj(a, b) += dsig * x[a] * dsig * x[b];
+      }
+    }
+
+    // Levenberg-Marquardt: try increasing damping until the step improves.
+    bool stepped = false;
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      util::Matrix damped = jtj;
+      for (std::size_t d = 0; d < 4; ++d) damped(d, d) += damping * (1.0 + jtj(d, d));
+      std::vector<double> step;
+      try {
+        step = util::cholesky_solve(damped, jtr);
+      } catch (const std::invalid_argument&) {
+        damping *= 10.0;
+        continue;
+      }
+      const QoParams candidate{p.c1 + step[0], p.c2 + step[1], p.c3 + step[2],
+                               p.c4 + step[3]};
+      const double candidate_sse = sse(candidate, samples);
+      if (candidate_sse < current_sse) {
+        const double improvement = (current_sse - candidate_sse) /
+                                   std::max(current_sse, 1e-12);
+        p = candidate;
+        current_sse = candidate_sse;
+        damping = std::max(damping * 0.3, 1e-12);
+        stepped = true;
+        if (improvement < options.tolerance) {
+          result.converged = true;
+        }
+        break;
+      }
+      damping *= 10.0;
+    }
+    if (!stepped || result.converged) {
+      result.converged = result.converged || !stepped;
+      break;
+    }
+  }
+
+  result.params = p;
+  std::vector<double> predicted, observed;
+  predicted.reserve(n);
+  observed.reserve(n);
+  for (const auto& s : samples) {
+    predicted.push_back(predict(p, s));
+    observed.push_back(s.vmaf);
+  }
+  result.pearson = util::pearson_correlation(predicted, observed);
+  result.rmse = util::rmse(predicted, observed);
+  return result;
+}
+
+}  // namespace ps360::qoe

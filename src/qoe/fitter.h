@@ -1,0 +1,38 @@
+// Nonlinear least-squares fitting of the Qo logistic (Eq. 3).
+//
+// The paper fits c1..c4 with Matlab's nlinfit; we implement the same
+// Levenberg-Marquardt-damped Gauss-Newton iteration on the residuals
+//
+//   r_i = vmaf_i - 100 / (1 + e^{-(c1 + c2 SI_i + c3 TI_i + c4 b_i)})
+//
+// and report the Pearson correlation between fitted and observed scores —
+// the paper's fit quality metric (0.9791).
+#pragma once
+
+#include <vector>
+
+#include "qoe/vmaf_synth.h"
+
+namespace ps360::qoe {
+
+struct QoFitResult {
+  QoParams params;
+  double pearson = 0.0;       // corr(model prediction, observed vmaf)
+  double rmse = 0.0;          // residual RMSE in VMAF points
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+struct QoFitOptions {
+  std::size_t max_iterations = 200;
+  double tolerance = 1e-9;        // relative SSE improvement to declare done
+  double initial_damping = 1e-3;  // LM lambda
+};
+
+// Fit the logistic to the samples (requires >= 4 samples with variation in
+// every regressor). Starts from all-zero coefficients as nlinfit would with
+// a neutral initial guess.
+QoFitResult fit_qo_params(const std::vector<VmafSample>& samples,
+                          const QoFitOptions& options = {});
+
+}  // namespace ps360::qoe

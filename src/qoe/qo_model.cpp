@@ -1,0 +1,45 @@
+#include "qoe/qo_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ps360::qoe {
+
+QoModel::QoModel(QoParams params, double bitrate_scale)
+    : params_(params), bitrate_scale_(bitrate_scale) {
+  PS360_CHECK(bitrate_scale > 0.0);
+}
+
+double QoModel::qo(double si, double ti, double b_mbps) const {
+  PS360_CHECK(b_mbps >= 0.0);
+  const double z = params_.c1 + params_.c2 * si + params_.c3 * ti +
+                   params_.c4 * bitrate_scale_ * b_mbps;
+  return 100.0 / (1.0 + std::exp(-z));
+}
+
+double QoModel::alpha(double s_fov_deg_per_s, double ti, double gain) {
+  PS360_CHECK(s_fov_deg_per_s >= 0.0);
+  PS360_CHECK(ti > 0.0);
+  PS360_CHECK(gain > 0.0);
+  // Clamp away from zero: a perfectly static gaze still tolerates a little
+  // temporal subsampling, and alpha = 0 is a removable singularity in g.
+  return std::max(gain * s_fov_deg_per_s / ti, 1e-3);
+}
+
+double QoModel::frame_rate_factor(double alpha, double frame_ratio) {
+  PS360_CHECK(alpha > 0.0);
+  PS360_CHECK(frame_ratio > 0.0 && frame_ratio <= 1.0);
+  if (alpha < 1e-6) return frame_ratio;  // limit of the expression as alpha -> 0
+  const double num = 1.0 - std::exp(-alpha * frame_ratio);
+  const double den = 1.0 - std::exp(-alpha);
+  return std::clamp(num / den, 0.0, 1.0);
+}
+
+double QoModel::qo_with_frame_rate(double si, double ti, double b_mbps,
+                                   double s_fov_deg_per_s, double frame_ratio) const {
+  return qo(si, ti, b_mbps) * frame_rate_factor(alpha(s_fov_deg_per_s, ti), frame_ratio);
+}
+
+}  // namespace ps360::qoe

@@ -1,0 +1,64 @@
+// The full QoE model — Eq. 2 of the paper.
+//
+//   Q_k = Qo_k - ω_v |Qo_k - Qo_{k-1}| - ω_r I_r
+//   I_r = max(S_k / R_k - B_k, 0) / B_k * Qo_k
+//
+// Qo is the perceived quality of the segment (Eq. 3, possibly frame-rate
+// adjusted), the second term penalises quality oscillation between
+// consecutive segments, and I_r penalises rebuffering: the stall time a
+// download causes relative to the buffer that was available. The evaluation
+// uses (ω_v, ω_r) = (1, 1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qoe/qo_model.h"
+
+namespace ps360::qoe {
+
+struct QoEWeights {
+  double variation = 1.0;   // ω_v
+  double rebuffer = 1.0;    // ω_r
+};
+
+struct SegmentQoE {
+  double qo = 0.0;          // perceived quality of this segment
+  double variation = 0.0;   // |Qo_k - Qo_{k-1}|
+  double rebuffer = 0.0;    // I_r
+  double q = 0.0;           // Eq. 2 total
+};
+
+class QoEModel {
+ public:
+  explicit QoEModel(QoEWeights weights = {});
+
+  const QoEWeights& weights() const { return weights_; }
+
+  // QoE of one segment. `prev_qo` is Qo_{k-1} (pass qo for the first
+  // segment so the variation term vanishes). `download_seconds` is
+  // S_k / R_k; `buffer_seconds` is B_k at request time, floored at
+  // `kMinBufferForRebuffer` to keep I_r finite at a drained buffer.
+  SegmentQoE segment(double qo, double prev_qo, double download_seconds,
+                     double buffer_seconds) const;
+
+  static constexpr double kMinBufferForRebuffer = 0.25;
+
+ private:
+  QoEWeights weights_;
+};
+
+// Session-level aggregation of per-segment QoE (the quantities of
+// Fig. 11(d): average quality, average variation, average rebuffer impact,
+// and the resulting average Q).
+struct SessionQoE {
+  double mean_qo = 0.0;
+  double mean_variation = 0.0;
+  double mean_rebuffer = 0.0;
+  double mean_q = 0.0;
+  std::size_t segments = 0;
+
+  static SessionQoE aggregate(const std::vector<SegmentQoE>& segments);
+};
+
+}  // namespace ps360::qoe

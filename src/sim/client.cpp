@@ -1,0 +1,105 @@
+#include "sim/client.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/buffer.h"
+#include "util/check.h"
+
+namespace ps360::sim {
+
+StreamingClient::StreamingClient(ClientConfig config, const VideoWorkload& workload,
+                                 const Scheme& scheme, const trace::HeadTrace& head)
+    : config_(std::move(config)),
+      workload_(&workload),
+      scheme_(&scheme),
+      head_(&head),
+      predictor_(predict::make_predictor_config(config_.predictor_kind,
+                                                config_.predictor)),
+      bandwidth_(predict::make_bandwidth_estimator(config_.bandwidth_kind,
+                                                   config_.bandwidth_window,
+                                                   config_.initial_bandwidth_bps)) {
+  PS360_CHECK(config_.mpc.segment_seconds > 0.0);
+  PS360_CHECK(config_.mpc.buffer_threshold_s > 0.0);
+}
+
+double StreamingClient::playhead_s() const {
+  const double L = config_.mpc.segment_seconds;
+  return std::clamp(static_cast<double>(next_segment_) * L - buffer_s_, 0.0,
+                    head_->duration());
+}
+
+std::optional<ClientRequest> StreamingClient::plan_next() {
+  PS360_CHECK_MSG(!awaiting_download_,
+                  "plan_next called before completing the previous download");
+  if (finished()) return std::nullopt;
+
+  const double L = config_.mpc.segment_seconds;
+  const std::size_t k = next_segment_;
+
+  ClientRequest request;
+  request.segment = k;
+
+  // Δt of Eq. 6: wait while above the threshold; playback drains meanwhile.
+  request.wait_s = std::max(buffer_s_ - config_.mpc.buffer_threshold_s, 0.0);
+  wall_t_ += request.wait_s;
+  buffer_s_ -= request.wait_s;
+  request.buffer_at_request_s = buffer_s_;
+
+  // Steps (a)/(b): predict the viewport at the segment's playback time and
+  // the bandwidth for the horizon.
+  const double playhead = playhead_s();
+  const double target =
+      std::min((static_cast<double>(k) + 0.5) * L, head_->duration());
+  geometry::EquirectPoint center;
+  switch (config_.predictor_kind) {
+    case predict::PredictorKind::kHold:
+      center = head_->center_at(playhead);
+      break;
+    case predict::PredictorKind::kOracle:
+      center = head_->center_at(target);  // upper-bound ablation
+      break;
+    default:
+      center = predictor_.predict(*head_, playhead, std::max(target, playhead));
+  }
+  const double download_fov = std::min(
+      workload_->config().fov_deg + 2.0 * config_.download_fov_padding_deg, 180.0);
+  request.predicted = geometry::Viewport(center, download_fov, download_fov);
+  request.predicted_sfov = predictor_.recent_switching_speed(*head_, playhead);
+  request.bandwidth_estimate_bps = bandwidth_->estimate();
+
+  // Steps (c)/(d): the scheme's MPC picks (v, f) and the byte budget.
+  request.plan = scheme_->plan(k, request.predicted, request.predicted_sfov,
+                               request.bandwidth_estimate_bps, buffer_s_,
+                               prev_plan_qo_);
+  PS360_ASSERT_MSG(request.plan.option.bytes > 0.0, "a plan must download something");
+
+  prev_plan_qo_ = request.plan.option.qo;
+  pending_bytes_ = request.plan.option.bytes;
+  awaiting_download_ = true;
+  return request;
+}
+
+double StreamingClient::complete_download(double download_s) {
+  PS360_CHECK_MSG(awaiting_download_, "no download in flight");
+  PS360_CHECK(download_s > 0.0);
+
+  bandwidth_->observe(pending_bytes_ / download_s);
+  wall_t_ += download_s;
+
+  // Eq. 6 (the wait already happened in plan_next, so no further Δt here).
+  const core::BufferModel buffers(config_.mpc.segment_seconds,
+                                  config_.mpc.buffer_threshold_s,
+                                  config_.mpc.buffer_quantum_s);
+  const core::BufferStep step = buffers.advance(buffer_s_, download_s);
+  PS360_ASSERT(step.wait_s == 0.0);
+  const double stall = next_segment_ == 0 ? 0.0 : step.stall_s;
+  buffer_s_ = step.next_buffer_s;
+
+  awaiting_download_ = false;
+  pending_bytes_ = 0.0;
+  ++next_segment_;
+  return stall;
+}
+
+}  // namespace ps360::sim

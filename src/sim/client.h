@@ -1,0 +1,88 @@
+// The streaming client — the paper's Section IV-B/IV-C loop as a reusable
+// state machine, decoupled from any particular network model.
+//
+// Per segment the client performs steps (a)-(e) of the MPC algorithm:
+// read the buffer, predict the viewport (ridge regression over the head
+// trace seen so far) and the bandwidth (harmonic mean of observed download
+// rates), solve the horizon, and emit a download decision. The caller then
+// performs the download however it likes (a simulator integrates a
+// throughput trace; a real client would issue an HTTP request) and reports
+// how long it took; the client advances the Eq. 6 buffer state.
+//
+// sim::simulate_session drives this class against a trace::NetworkTrace;
+// tests drive it directly with hand-crafted download times.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "predict/bandwidth_estimators.h"
+#include "predict/predictors.h"
+#include "sim/schemes.h"
+
+namespace ps360::sim {
+
+struct ClientConfig {
+  core::MpcConfig mpc;                // L, β, quantum, ε, weights
+  std::size_t mpc_horizon = 5;        // H
+  std::size_t bandwidth_window = 5;   // harmonic-mean window
+  double initial_bandwidth_bps = 500e3;
+  double download_fov_padding_deg = 10.0;
+  predict::ViewportPredictorConfig predictor;
+  predict::PredictorKind predictor_kind = predict::PredictorKind::kRidge;
+  predict::BandwidthEstimatorKind bandwidth_kind =
+      predict::BandwidthEstimatorKind::kHarmonic;
+};
+
+// One planned request: what to fetch for the next segment plus the
+// prediction context the QoE evaluation needs.
+struct ClientRequest {
+  std::size_t segment = 0;
+  DownloadPlan plan;
+  geometry::Viewport predicted{geometry::EquirectPoint{0.0, 90.0}};
+  double predicted_sfov = 0.0;       // deg/s, from the recent head samples
+  double wait_s = 0.0;               // Δt spent above the buffer threshold
+  double buffer_at_request_s = 0.0;  // B_k after the wait
+  double bandwidth_estimate_bps = 0.0;
+};
+
+class StreamingClient {
+ public:
+  // `scheme` and `head` must outlive the client. `head` is the viewer's
+  // head trace, consumed causally (only samples up to the playhead are used
+  // for prediction).
+  StreamingClient(ClientConfig config, const VideoWorkload& workload,
+                  const Scheme& scheme, const trace::HeadTrace& head);
+
+  // Plan the next segment's download; std::nullopt when the video is fully
+  // requested. Must be followed by complete_download() before the next call.
+  std::optional<ClientRequest> plan_next();
+
+  // Report how long the planned download took (seconds, > 0). Returns the
+  // stall time this download caused (0 for the startup segment).
+  double complete_download(double download_s);
+
+  // Current state.
+  double buffer_s() const { return buffer_s_; }
+  double wall_time_s() const { return wall_t_; }
+  double playhead_s() const;
+  std::size_t next_segment() const { return next_segment_; }
+  bool finished() const { return next_segment_ >= workload_->segment_count(); }
+
+ private:
+  ClientConfig config_;
+  const VideoWorkload* workload_;
+  const Scheme* scheme_;
+  const trace::HeadTrace* head_;
+  predict::ViewportPredictor predictor_;
+  std::unique_ptr<predict::BandwidthEstimator> bandwidth_;
+
+  std::size_t next_segment_ = 0;
+  double wall_t_ = 0.0;
+  double buffer_s_ = 0.0;
+  double prev_plan_qo_ = -1.0;
+  bool awaiting_download_ = false;
+  double pending_bytes_ = 0.0;
+};
+
+}  // namespace ps360::sim

@@ -1,0 +1,117 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "util/check.h"
+
+namespace ps360::sim {
+
+double EvaluationCell::energy_per_segment_mj() const {
+  PS360_ASSERT(segments > 0);
+  return result.energy.total_mj() / static_cast<double>(segments);
+}
+
+const EvaluationCell& EvaluationGrid::at(int video_id, int trace_id,
+                                         SchemeKind scheme) const {
+  for (const auto& cell : cells) {
+    if (cell.video_id == video_id && cell.trace_id == trace_id &&
+        cell.scheme == scheme)
+      return cell;
+  }
+  throw std::invalid_argument("missing evaluation cell");
+}
+
+double EvaluationGrid::normalized_mean(
+    int trace_id, SchemeKind scheme,
+    const std::function<double(const EvaluationCell&)>& metric) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& cell : cells) {
+    if (cell.trace_id != trace_id || cell.scheme != scheme) continue;
+    const EvaluationCell& base = at(cell.video_id, trace_id, SchemeKind::kCtile);
+    sum += metric(cell) / metric(base);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double EvaluationGrid::energy_metric(const EvaluationCell& cell) {
+  return cell.energy_per_segment_mj();
+}
+
+double EvaluationGrid::qoe_metric(const EvaluationCell& cell) {
+  return cell.result.qoe.mean_q;
+}
+
+EvaluationGrid run_evaluation_grid(power::Device device,
+                                   const EvaluationOptions& options,
+                                   SessionConfig session) {
+  PS360_CHECK(options.max_videos >= 1);
+  EvaluationGrid grid;
+  const auto traces =
+      trace::make_paper_traces(options.seed, options.network_duration_s);
+
+  session.seed = options.seed;
+  session.device = device;
+
+  const auto& videos = trace::test_videos();
+  const std::size_t n_videos = std::min(options.max_videos, videos.size());
+
+  // One result slot per video keeps the output order deterministic no
+  // matter how the workers interleave.
+  std::vector<std::vector<EvaluationCell>> per_video(n_videos);
+  std::atomic<std::size_t> next_video{0};
+  std::mutex progress_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t vi = next_video.fetch_add(1);
+      if (vi >= n_videos) return;
+      WorkloadConfig wconfig;
+      wconfig.seed = options.seed;
+      const VideoWorkload workload(videos[vi], wconfig);
+      for (int trace_id = 1; trace_id <= 2; ++trace_id) {
+        const trace::NetworkTrace& net =
+            trace_id == 1 ? traces.first : traces.second;
+        for (SchemeKind scheme : all_schemes()) {
+          EvaluationCell cell;
+          cell.video_id = videos[vi].id;
+          cell.trace_id = trace_id;
+          cell.scheme = scheme;
+          cell.segments = workload.segment_count();
+          cell.result = simulate_all_test_users(workload, scheme, net, session);
+          per_video[vi].push_back(std::move(cell));
+        }
+        if (options.progress) {
+          const std::lock_guard<std::mutex> lock(progress_mutex);
+          options.progress(videos[vi].id, trace_id);
+        }
+      }
+    }
+  };
+
+  std::size_t n_threads = options.threads != 0
+                              ? options.threads
+                              : std::max<std::size_t>(
+                                    std::thread::hardware_concurrency(), 1);
+  n_threads = std::min(n_threads, n_videos);
+  if (n_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+
+  for (auto& cells : per_video) {
+    grid.cells.insert(grid.cells.end(), std::make_move_iterator(cells.begin()),
+                      std::make_move_iterator(cells.end()));
+  }
+  return grid;
+}
+
+}  // namespace ps360::sim

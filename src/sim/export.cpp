@@ -1,0 +1,84 @@
+#include "sim/export.h"
+
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace ps360::sim {
+
+void export_segments_csv(const std::filesystem::path& path,
+                         const SessionResult& result) {
+  util::CsvTable table;
+  table.header = {"segment",   "quality",     "frame_index", "fps",
+                  "bytes",     "download_s",  "stall_s",     "buffer_before_s",
+                  "coverage",  "used_ptile",  "qo",          "variation",
+                  "rebuffer",  "q",           "transmit_mj", "decode_mj",
+                  "render_mj"};
+  table.rows.reserve(result.segments.size());
+  for (const auto& seg : result.segments) {
+    table.rows.push_back({static_cast<double>(seg.index),
+                          static_cast<double>(seg.quality),
+                          static_cast<double>(seg.frame_index), seg.fps, seg.bytes,
+                          seg.download_s, seg.stall_s, seg.buffer_before_s,
+                          seg.coverage, seg.used_ptile ? 1.0 : 0.0, seg.qoe.qo,
+                          seg.qoe.variation, seg.qoe.rebuffer, seg.qoe.q,
+                          seg.energy.transmit_mj, seg.energy.decode_mj,
+                          seg.energy.render_mj});
+  }
+  util::write_csv_file(path, table);
+}
+
+SessionResult import_segments_csv(const std::filesystem::path& path) {
+  const util::CsvTable table = util::read_csv_file(path, /*has_header=*/true);
+  SessionResult result;
+  std::vector<qoe::SegmentQoE> qoe_segments;
+  auto col = [&table](const char* name) { return table.column(name); };
+  const std::size_t c_index = col("segment"), c_quality = col("quality"),
+                    c_frame = col("frame_index"), c_fps = col("fps"),
+                    c_bytes = col("bytes"), c_dl = col("download_s"),
+                    c_stall = col("stall_s"), c_buf = col("buffer_before_s"),
+                    c_cov = col("coverage"), c_ptile = col("used_ptile"),
+                    c_qo = col("qo"), c_var = col("variation"),
+                    c_reb = col("rebuffer"), c_q = col("q"),
+                    c_et = col("transmit_mj"), c_ed = col("decode_mj"),
+                    c_er = col("render_mj");
+  for (const auto& row : table.rows) {
+    SegmentRecord seg;
+    seg.index = static_cast<std::size_t>(row[c_index]);
+    seg.quality = static_cast<int>(row[c_quality]);
+    seg.frame_index = static_cast<std::size_t>(row[c_frame]);
+    seg.fps = row[c_fps];
+    seg.bytes = row[c_bytes];
+    seg.download_s = row[c_dl];
+    seg.stall_s = row[c_stall];
+    seg.buffer_before_s = row[c_buf];
+    seg.coverage = row[c_cov];
+    seg.used_ptile = row[c_ptile] != 0.0;
+    seg.qoe.qo = row[c_qo];
+    seg.qoe.variation = row[c_var];
+    seg.qoe.rebuffer = row[c_reb];
+    seg.qoe.q = row[c_q];
+    seg.energy.transmit_mj = row[c_et];
+    seg.energy.decode_mj = row[c_ed];
+    seg.energy.render_mj = row[c_er];
+
+    result.energy += seg.energy;
+    result.total_stall_s += seg.stall_s;
+    if (seg.stall_s > 0.0) ++result.rebuffer_events;
+    result.mean_quality += static_cast<double>(seg.quality);
+    result.mean_fps += seg.fps;
+    result.mean_coverage += seg.coverage;
+    result.ptile_usage += seg.used_ptile ? 1.0 : 0.0;
+    result.total_bytes += seg.bytes;
+    qoe_segments.push_back(seg.qoe);
+    result.segments.push_back(std::move(seg));
+  }
+  const double n = static_cast<double>(std::max<std::size_t>(result.segments.size(), 1));
+  result.mean_quality /= n;
+  result.mean_fps /= n;
+  result.mean_coverage /= n;
+  result.ptile_usage /= n;
+  result.qoe = qoe::SessionQoE::aggregate(qoe_segments);
+  return result;
+}
+
+}  // namespace ps360::sim

@@ -1,0 +1,22 @@
+// Session-result export: dump the per-segment records of a session to CSV
+// for offline analysis/plotting, and read them back.
+#pragma once
+
+#include <filesystem>
+
+#include "sim/session.h"
+
+namespace ps360::sim {
+
+// Columns: segment,quality,frame_index,fps,bytes,download_s,stall_s,
+// buffer_before_s,coverage,used_ptile,qo,variation,rebuffer,q,
+// transmit_mj,decode_mj,render_mj.
+void export_segments_csv(const std::filesystem::path& path,
+                         const SessionResult& result);
+
+// Parse a file written by export_segments_csv back into segment records
+// (aggregate fields of the returned SessionResult are recomputed from the
+// segments; scheme is not persisted).
+SessionResult import_segments_csv(const std::filesystem::path& path);
+
+}  // namespace ps360::sim

@@ -1,0 +1,354 @@
+#include "sim/schemes.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "video/quality.h"
+
+namespace ps360::sim {
+
+using geometry::EquirectRect;
+using geometry::Viewport;
+
+const std::string& scheme_name(SchemeKind kind) {
+  static const std::array<std::string, kSchemeCount> names = {
+      "Ctile", "Ftile", "Nontile", "Ptile", "Ours"};
+  return names[static_cast<std::size_t>(kind)];
+}
+
+std::vector<SchemeKind> all_schemes() {
+  return {SchemeKind::kCtile, SchemeKind::kFtile, SchemeKind::kNontile,
+          SchemeKind::kPtile, SchemeKind::kOurs};
+}
+
+namespace {
+
+// Deterministic per-(segment, version, role) key for the encoding-size noise.
+std::uint64_t noise_key(const VideoWorkload& workload, std::size_t segment,
+                        int quality, std::size_t frame_index, int role) {
+  return util::derive_seed(
+      workload.config().seed,
+      static_cast<std::uint64_t>(workload.video().id) * 1000003ULL + segment,
+      static_cast<std::uint64_t>(quality) * 100 + frame_index * 10 +
+          static_cast<std::uint64_t>(role));
+}
+
+// bytes(i, v, frame_ratio) for one lookahead segment.
+using BytesFn = std::function<double(std::size_t segment, int quality,
+                                     std::size_t frame_index, double frame_ratio)>;
+
+class SchemeBase : public Scheme {
+ public:
+  explicit SchemeBase(const SchemeEnv& env)
+      : env_(env),
+        grid_(env.grid_rows, env.grid_cols),
+        frame_ladder_(env.workload->video().fps) {
+    PS360_CHECK(env_.workload != nullptr && env_.encoding != nullptr &&
+                env_.qo_model != nullptr && env_.device != nullptr);
+    PS360_CHECK(env_.mpc_horizon >= 1);
+  }
+
+ protected:
+  // Predicted Qo of a (v, f) version of segment `i` (Eq. 3 + Eq. 4 with the
+  // *predicted* switching speed).
+  double predicted_qo(std::size_t segment, int quality, double frame_ratio,
+                      double predicted_sfov) const {
+    const auto& feat = env_.workload->features(segment);
+    const double b = env_.encoding->fov_bitrate_mbps(quality, feat);
+    const double qo = env_.qo_model->qo(feat.si, feat.ti, b);
+    if (frame_ratio >= 1.0) return qo;
+    const double alpha = qoe::QoModel::alpha(predicted_sfov, feat.ti);
+    return qo * qoe::QoModel::frame_rate_factor(alpha, frame_ratio);
+  }
+
+  // Build the MPC horizon [k, k+H-1] clipped to the video end.
+  std::vector<core::SegmentChoices> build_horizon(std::size_t k, const BytesFn& bytes,
+                                                  bool frame_options,
+                                                  double predicted_sfov,
+                                                  power::DecodeProfile profile) const {
+    const std::size_t n = env_.workload->segment_count();
+    const std::size_t end = std::min(k + env_.mpc_horizon, n);
+    std::vector<core::SegmentChoices> horizon;
+    horizon.reserve(end - k);
+    for (std::size_t i = k; i < end; ++i) {
+      core::SegmentChoices choices;
+      const std::size_t first_frame = frame_options ? 1 : video::FrameRateLadder::kOptions;
+      for (int v = video::QualityLadder::kMinLevel; v <= video::QualityLadder::kMaxLevel;
+           ++v) {
+        for (std::size_t fi = first_frame; fi <= video::FrameRateLadder::kOptions; ++fi) {
+          core::QualityOption option;
+          option.quality = v;
+          option.frame_index = fi;
+          const double ratio = frame_ladder_.ratio(fi);
+          option.fps = frame_ladder_.fps(fi);
+          option.bytes = bytes(i, v, fi, ratio);
+          option.qo = predicted_qo(i, v, ratio, predicted_sfov);
+          option.profile = profile;
+          choices.options.push_back(option);
+        }
+      }
+      horizon.push_back(std::move(choices));
+    }
+    return horizon;
+  }
+
+  const SchemeEnv env_;
+  const geometry::TileGrid grid_;
+  const video::FrameRateLadder frame_ladder_;
+};
+
+// ---------------------------------------------------------------------------
+// Ctile
+
+class CtileScheme : public SchemeBase {
+ public:
+  explicit CtileScheme(const SchemeEnv& env)
+      : SchemeBase(env),
+        controller_(env.mpc, *env.device, core::MpcObjective::kMaxQoE) {}
+
+  SchemeKind kind() const override { return SchemeKind::kCtile; }
+
+  DownloadPlan plan(std::size_t k, const Viewport& predicted, double predicted_sfov,
+                    double bandwidth, double buffer_s, double prev_qo) const override {
+    const auto& workload = *env_.workload;
+    const auto rect =
+        grid_.covering_rect(predicted.area(), env_.tile_overlap_threshold);
+    const EquirectRect hq = grid_.rect_area(rect);
+    const double hq_area = hq.area_fraction();
+    const std::size_t n_hq = rect.tile_count();
+    const std::size_t n_bg = grid_.tile_count() - n_hq;
+    const double bg_area = std::max(1.0 - hq_area, 0.0);
+    const double L = env_.mpc.segment_seconds;
+
+    const BytesFn bytes = [&](std::size_t i, int v, std::size_t fi, double) {
+      double total = env_.encoding->region_bytes(hq_area, n_hq, v, workload.features(i),
+                                                 L, 1.0, noise_key(workload, i, v, fi, 0));
+      if (n_bg > 0 && bg_area > 0.0) {
+        total += env_.encoding->region_bytes(bg_area, n_bg, 1, workload.features(i), L,
+                                             1.0, noise_key(workload, i, 1, fi, 1));
+      }
+      return total;
+    };
+
+    const auto horizon =
+        build_horizon(k, bytes, /*frame_options=*/false, predicted_sfov,
+                      power::DecodeProfile::kCtile);
+    const core::MpcDecision decision =
+        controller_.decide(horizon, bandwidth, buffer_s, prev_qo);
+
+    DownloadPlan plan;
+    plan.option = decision.choice;
+    plan.frame_ratio = frame_ladder_.ratio(decision.choice.frame_index);
+    plan.mpc_feasible = decision.feasible;
+    plan.hq_region = hq;
+    return plan;
+  }
+
+  double coverage(const DownloadPlan& plan, const Viewport& actual) const override {
+    return plan.hq_region.coverage_of(actual.area());
+  }
+
+ private:
+  core::MpcController controller_;
+};
+
+// ---------------------------------------------------------------------------
+// Ftile
+
+class FtileScheme : public SchemeBase {
+ public:
+  explicit FtileScheme(const SchemeEnv& env)
+      : SchemeBase(env),
+        controller_(env.mpc, *env.device, core::MpcObjective::kMaxQoE) {}
+
+  SchemeKind kind() const override { return SchemeKind::kFtile; }
+
+  DownloadPlan plan(std::size_t k, const Viewport& predicted, double predicted_sfov,
+                    double bandwidth, double buffer_s, double prev_qo) const override {
+    const auto& workload = *env_.workload;
+    const double L = env_.mpc.segment_seconds;
+
+    // The FoV tile set is computed against each lookahead segment's own
+    // layout (layouts are per-segment server-side artifacts).
+    const BytesFn bytes = [&](std::size_t i, int v, std::size_t fi, double) {
+      const auto& layout = workload.ftile(i);
+      const auto selected = layout.tiles_overlapping(predicted);
+      std::vector<double> hq_areas, bg_areas;
+      for (std::size_t t = 0; t < layout.tile_count(); ++t) {
+        const bool is_hq =
+            std::find(selected.begin(), selected.end(), t) != selected.end();
+        (is_hq ? hq_areas : bg_areas).push_back(layout.tile_areas()[t]);
+      }
+      double total = 0.0;
+      if (!hq_areas.empty()) {
+        total += env_.encoding->tiled_bytes(hq_areas, v, workload.features(i), L, 1.0,
+                                            noise_key(workload, i, v, fi, 2));
+      }
+      if (!bg_areas.empty()) {
+        total += env_.encoding->tiled_bytes(bg_areas, 1, workload.features(i), L, 1.0,
+                                            noise_key(workload, i, 1, fi, 3));
+      }
+      return total;
+    };
+
+    const auto horizon =
+        build_horizon(k, bytes, /*frame_options=*/false, predicted_sfov,
+                      power::DecodeProfile::kFtile);
+    const core::MpcDecision decision =
+        controller_.decide(horizon, bandwidth, buffer_s, prev_qo);
+
+    DownloadPlan plan;
+    plan.option = decision.choice;
+    plan.frame_ratio = frame_ladder_.ratio(decision.choice.frame_index);
+    plan.mpc_feasible = decision.feasible;
+    plan.ftile_layout = &workload.ftile(k);
+    plan.ftile_tiles = plan.ftile_layout->tiles_overlapping(predicted);
+    return plan;
+  }
+
+  double coverage(const DownloadPlan& plan, const Viewport& actual) const override {
+    PS360_ASSERT(plan.ftile_layout != nullptr);
+    return plan.ftile_layout->coverage(actual, plan.ftile_tiles);
+  }
+
+ private:
+  core::MpcController controller_;
+};
+
+// ---------------------------------------------------------------------------
+// Nontile
+
+class NontileScheme : public SchemeBase {
+ public:
+  explicit NontileScheme(const SchemeEnv& env)
+      : SchemeBase(env),
+        controller_(env.mpc, *env.device, core::MpcObjective::kMaxQoE) {}
+
+  SchemeKind kind() const override { return SchemeKind::kNontile; }
+
+  DownloadPlan plan(std::size_t k, const Viewport&, double predicted_sfov,
+                    double bandwidth, double buffer_s, double prev_qo) const override {
+    const auto& workload = *env_.workload;
+    const double L = env_.mpc.segment_seconds;
+
+    const BytesFn bytes = [&](std::size_t i, int v, std::size_t fi, double) {
+      return env_.encoding->region_bytes(1.0, 1, v, workload.features(i), L, 1.0,
+                                         noise_key(workload, i, v, fi, 4));
+    };
+
+    const auto horizon =
+        build_horizon(k, bytes, /*frame_options=*/false, predicted_sfov,
+                      power::DecodeProfile::kNontile);
+    const core::MpcDecision decision =
+        controller_.decide(horizon, bandwidth, buffer_s, prev_qo);
+
+    DownloadPlan plan;
+    plan.option = decision.choice;
+    plan.frame_ratio = frame_ladder_.ratio(decision.choice.frame_index);
+    plan.mpc_feasible = decision.feasible;
+    plan.hq_region =
+        EquirectRect::make(geometry::LonInterval::make(0.0, 360.0), 0.0, 180.0);
+    return plan;
+  }
+
+  double coverage(const DownloadPlan&, const Viewport&) const override {
+    return 1.0;  // the whole frame is at the chosen quality
+  }
+
+ private:
+  core::MpcController controller_;
+};
+
+// ---------------------------------------------------------------------------
+// Ptile / Ours
+
+class PtileScheme : public SchemeBase {
+ public:
+  PtileScheme(const SchemeEnv& env, bool frame_adaptation)
+      : SchemeBase(env),
+        frame_adaptation_(frame_adaptation),
+        builder_(env.workload->config().ptile),
+        controller_(env.mpc, *env.device,
+                    core::MpcObjective::kMinEnergyQoEConstrained),
+        fallback_(env) {}
+
+  SchemeKind kind() const override {
+    return frame_adaptation_ ? SchemeKind::kOurs : SchemeKind::kPtile;
+  }
+
+  DownloadPlan plan(std::size_t k, const Viewport& predicted, double predicted_sfov,
+                    double bandwidth, double buffer_s, double prev_qo) const override {
+    const auto& workload = *env_.workload;
+    const ptile::Ptile* ptile =
+        workload.ptiles(k).covering(predicted, env_.ptile_min_coverage);
+    if (ptile == nullptr) {
+      // Section IV-B: no covering Ptile -> conventional tiles at the best
+      // possible quality for this segment.
+      DownloadPlan plan =
+          fallback_.plan(k, predicted, predicted_sfov, bandwidth, buffer_s, prev_qo);
+      plan.used_ptile = false;
+      return plan;
+    }
+
+    const double L = env_.mpc.segment_seconds;
+    const double ptile_area = ptile->area.area_fraction();
+    const std::vector<double> bg_areas = builder_.background_block_areas(*ptile);
+
+    const BytesFn bytes = [&](std::size_t i, int v, std::size_t fi, double ratio) {
+      double total =
+          env_.encoding->region_bytes(ptile_area, 1, v, workload.features(i), L, ratio,
+                                      noise_key(workload, i, v, fi, 5));
+      if (!bg_areas.empty()) {
+        total += env_.encoding->tiled_bytes(bg_areas, 1, workload.features(i), L, 1.0,
+                                            noise_key(workload, i, 1, fi, 6));
+      }
+      return total;
+    };
+
+    const auto horizon = build_horizon(k, bytes, frame_adaptation_, predicted_sfov,
+                                       power::DecodeProfile::kPtile);
+    const core::MpcDecision decision =
+        controller_.decide(horizon, bandwidth, buffer_s, prev_qo);
+
+    DownloadPlan plan;
+    plan.option = decision.choice;
+    plan.frame_ratio = frame_ladder_.ratio(decision.choice.frame_index);
+    plan.mpc_feasible = decision.feasible;
+    plan.used_ptile = true;
+    plan.hq_region = ptile->area;
+    return plan;
+  }
+
+  double coverage(const DownloadPlan& plan, const Viewport& actual) const override {
+    if (!plan.used_ptile) return fallback_.coverage(plan, actual);
+    return plan.hq_region.coverage_of(actual.area());
+  }
+
+ private:
+  bool frame_adaptation_;
+  ptile::PtileBuilder builder_;
+  core::MpcController controller_;
+  CtileScheme fallback_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheme> make_scheme(SchemeKind kind, const SchemeEnv& env) {
+  switch (kind) {
+    case SchemeKind::kCtile:
+      return std::make_unique<CtileScheme>(env);
+    case SchemeKind::kFtile:
+      return std::make_unique<FtileScheme>(env);
+    case SchemeKind::kNontile:
+      return std::make_unique<NontileScheme>(env);
+    case SchemeKind::kPtile:
+      return std::make_unique<PtileScheme>(env, /*frame_adaptation=*/false);
+    case SchemeKind::kOurs:
+      return std::make_unique<PtileScheme>(env, /*frame_adaptation=*/true);
+  }
+  throw std::invalid_argument("unknown scheme kind");
+}
+
+}  // namespace ps360::sim

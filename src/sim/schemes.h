@@ -1,0 +1,90 @@
+// The five streaming approaches compared in Section V.
+//
+//   Ctile   — conventional fixed 4x8 tiling; FoV tiles at the chosen quality,
+//             the 23 remaining tiles at the lowest quality; four concurrent
+//             decoders; QoE-maximising MPC (Yin et al. [24]).
+//   Ftile   — fixed *count* of view-clustered variable-size tiles (after
+//             ClusTile [12]); tiles overlapping the predicted FoV at the
+//             chosen quality, the rest at the lowest; QoE-maximising MPC.
+//   Nontile — the whole frame as one stream (YouTube-style); one decoder;
+//             QoE-maximising MPC.
+//   Ptile   — the paper's popularity tile at the original frame rate, plus
+//             low-quality background blocks; one decoder; the paper's
+//             energy-minimising ε-constrained MPC with F pinned to the
+//             original frame rate.
+//   Ours    — Ptile plus the frame-rate ladder {original, -10%, -20%, -30%};
+//             the full energy-minimising ε-constrained MPC over (v, f).
+//
+// When the predicted viewport is not covered by any Ptile, Ptile/Ours fall
+// back to conventional tiles at the best possible quality for that segment,
+// exactly as Section IV-B prescribes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mpc.h"
+#include "sim/workload.h"
+#include "video/encoding.h"
+
+namespace ps360::sim {
+
+enum class SchemeKind { kCtile = 0, kFtile = 1, kNontile = 2, kPtile = 3, kOurs = 4 };
+inline constexpr std::size_t kSchemeCount = 5;
+
+const std::string& scheme_name(SchemeKind kind);
+std::vector<SchemeKind> all_schemes();
+
+// Shared, non-owning environment a scheme plans against.
+struct SchemeEnv {
+  const VideoWorkload* workload = nullptr;
+  const video::EncodingModel* encoding = nullptr;
+  const qoe::QoModel* qo_model = nullptr;
+  const power::DeviceModel* device = nullptr;
+  core::MpcConfig mpc;            // L, β, quantum, ε, weights, stall penalty
+  std::size_t mpc_horizon = 5;    // H
+  double ptile_min_coverage = 0.9;  // predicted-FoV coverage to pick a Ptile
+  std::size_t grid_rows = 4;
+  std::size_t grid_cols = 8;
+  double fov_deg = 100.0;
+  // Minimum fraction of a boundary tile the FoV must overlap before the
+  // client downloads it at high quality (how the paper's "nine FoV tiles"
+  // arise from a 100° FoV on a 45° grid).
+  double tile_overlap_threshold = 0.25;
+};
+
+// What the scheme decided to download for one segment.
+struct DownloadPlan {
+  core::QualityOption option;   // (v, f) plus bytes / Qo / decode profile
+  double frame_ratio = 1.0;     // f / fm
+  bool used_ptile = false;      // Ptile/Ours: a Ptile covered the prediction
+  bool mpc_feasible = true;     // false if the MPC had to relax constraints
+  // High-quality region for coverage evaluation:
+  geometry::EquirectRect hq_region;                    // Ctile/Nontile/Ptile
+  const ptile::FtileLayout* ftile_layout = nullptr;    // Ftile only
+  std::vector<std::size_t> ftile_tiles;                // Ftile only
+};
+
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  virtual SchemeKind kind() const = 0;
+
+  // Plan segment k's download. `predicted` is the viewport prediction for
+  // the segment's playback time, `predicted_sfov` the recent switching speed
+  // (deg/s), `bandwidth` the estimated throughput in bytes/s, `buffer_s`
+  // B_k, and `prev_qo` the previous segment's planned Qo.
+  virtual DownloadPlan plan(std::size_t k, const geometry::Viewport& predicted,
+                            double predicted_sfov, double bandwidth,
+                            double buffer_s, double prev_qo) const = 0;
+
+  // Fraction of the actual viewport the plan serves at high quality.
+  virtual double coverage(const DownloadPlan& plan,
+                          const geometry::Viewport& actual) const = 0;
+};
+
+std::unique_ptr<Scheme> make_scheme(SchemeKind kind, const SchemeEnv& env);
+
+}  // namespace ps360::sim

@@ -1,0 +1,101 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ps360::sim {
+
+using geometry::EquirectPoint;
+using geometry::Viewport;
+
+VideoWorkload::VideoWorkload(const trace::VideoInfo& video, WorkloadConfig config)
+    : video_(video), config_(config) {
+  PS360_CHECK(config_.n_training_users >= 1);
+  PS360_CHECK(config_.n_users > config_.n_training_users);
+  PS360_CHECK(config_.segment_seconds > 0.0);
+
+  // Propagate the workload seed into the synthesizer so one seed controls
+  // the whole universe.
+  trace::HeadSynthConfig head = config_.head;
+  head.seed = config_.seed;
+  const trace::HeadTraceSynthesizer synth(head);
+  traces_ = synth.synthesize_all(video_, config_.n_users);
+
+  const std::size_t n_segments = video::segment_count(video_, config_.segment_seconds);
+  features_.reserve(n_segments);
+  centers_.reserve(n_segments);
+  ptiles_.reserve(n_segments);
+
+  const ptile::PtileBuilder builder(config_.ptile);
+  for (std::size_t k = 0; k < n_segments; ++k) {
+    features_.push_back(video::segment_features(video_, k, config_.seed));
+
+    const double t0 = static_cast<double>(k) * config_.segment_seconds;
+    const double t1 = std::min(t0 + config_.segment_seconds, video_.duration_s);
+    std::vector<EquirectPoint> centers;
+    centers.reserve(config_.n_training_users);
+    for (std::size_t u = 0; u < config_.n_training_users; ++u)
+      centers.push_back(traces_[u].mean_center(t0, t1));
+    ptiles_.push_back(builder.build(centers));
+    centers_.push_back(std::move(centers));
+  }
+}
+
+const video::ContentFeatures& VideoWorkload::features(std::size_t segment) const {
+  PS360_CHECK(segment < features_.size());
+  return features_[segment];
+}
+
+const std::vector<EquirectPoint>& VideoWorkload::training_centers(
+    std::size_t segment) const {
+  PS360_CHECK(segment < centers_.size());
+  return centers_[segment];
+}
+
+const ptile::SegmentPtiles& VideoWorkload::ptiles(std::size_t segment) const {
+  PS360_CHECK(segment < ptiles_.size());
+  return ptiles_[segment];
+}
+
+const ptile::FtileLayout& VideoWorkload::ftile(std::size_t segment) const {
+  PS360_CHECK(segment < centers_.size());
+  if (!ftiles_.has_value()) {
+    ptile::FtileLayoutConfig cfg = config_.ftile;
+    cfg.seed = config_.seed;
+    cfg.fov_deg = config_.fov_deg;
+    std::vector<ptile::FtileLayout> layouts;
+    layouts.reserve(centers_.size());
+    for (const auto& centers : centers_) layouts.emplace_back(centers, cfg);
+    ftiles_ = std::move(layouts);
+  }
+  return (*ftiles_)[segment];
+}
+
+const trace::HeadTrace& VideoWorkload::test_trace(std::size_t test_user) const {
+  PS360_CHECK(test_user < test_user_count());
+  return traces_[config_.n_training_users + test_user];
+}
+
+const trace::HeadTrace& VideoWorkload::user_trace(std::size_t user) const {
+  PS360_CHECK(user < traces_.size());
+  return traces_[user];
+}
+
+Viewport VideoWorkload::actual_viewport(std::size_t test_user,
+                                        std::size_t segment) const {
+  const double mid = (static_cast<double>(segment) + 0.5) * config_.segment_seconds;
+  return test_trace(test_user).viewport_at(std::min(mid, video_.duration_s),
+                                           config_.fov_deg);
+}
+
+double VideoWorkload::actual_switching_speed(std::size_t test_user,
+                                             std::size_t segment) const {
+  const double t0 = static_cast<double>(segment) * config_.segment_seconds;
+  const double t1 =
+      std::min(t0 + config_.segment_seconds, test_trace(test_user).duration());
+  if (t1 <= t0 + 1e-9) return 0.0;
+  return test_trace(test_user).switching_speed(t0, t1);
+}
+
+}  // namespace ps360::sim

@@ -1,0 +1,45 @@
+#include "trace/dataset.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ps360::trace {
+
+std::string dataset_trace_filename(int video_id, int user_id) {
+  return util::strfmt("video%d_user%d.csv", video_id, user_id);
+}
+
+void export_video_traces(const std::filesystem::path& root,
+                         const std::vector<HeadTrace>& traces) {
+  PS360_CHECK(!traces.empty());
+  std::filesystem::create_directories(root);
+  for (const auto& trace : traces) {
+    save_head_trace(root / dataset_trace_filename(trace.video_id(), trace.user_id()),
+                    trace);
+  }
+}
+
+std::size_t count_video_users(const std::filesystem::path& root, int video_id) {
+  std::size_t count = 0;
+  while (std::filesystem::exists(
+      root / dataset_trace_filename(video_id, static_cast<int>(count)))) {
+    ++count;
+  }
+  return count;
+}
+
+std::vector<HeadTrace> load_video_traces(const std::filesystem::path& root,
+                                         int video_id) {
+  const std::size_t users = count_video_users(root, video_id);
+  PS360_CHECK_MSG(users > 0, "no traces found for this video in the dataset root");
+  std::vector<HeadTrace> traces;
+  traces.reserve(users);
+  for (std::size_t u = 0; u < users; ++u) {
+    traces.push_back(load_head_trace(
+        root / dataset_trace_filename(video_id, static_cast<int>(u)), video_id,
+        static_cast<int>(u)));
+  }
+  return traces;
+}
+
+}  // namespace ps360::trace

@@ -1,0 +1,39 @@
+// Dataset import/export.
+//
+// The built-in synthesizer stands in for the head-movement dataset of Wu et
+// al. [8]; this module is the seam for swapping the real data in. A dataset
+// directory holds one CSV per (video, user):
+//
+//   <root>/video<id>_user<uid>.csv     with columns t,x,y
+//
+// plus an optional network trace `network.csv` (columns t,mbps). Exporting
+// the synthetic dataset produces exactly this layout, so the round trip is
+// the compatibility test for external data.
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "trace/head_trace.h"
+#include "trace/network_trace.h"
+#include "trace/video_catalog.h"
+
+namespace ps360::trace {
+
+// File name for one user's trace of one video.
+std::string dataset_trace_filename(int video_id, int user_id);
+
+// Write the traces of one video (users 0..traces.size()) into `root`
+// (created if missing). Throws std::runtime_error on I/O failure.
+void export_video_traces(const std::filesystem::path& root,
+                         const std::vector<HeadTrace>& traces);
+
+// Load all users' traces of one video from `root`. Users are read
+// consecutively from id 0 until a file is missing; requires at least one.
+std::vector<HeadTrace> load_video_traces(const std::filesystem::path& root,
+                                         int video_id);
+
+// Number of consecutive user traces present for a video.
+std::size_t count_video_users(const std::filesystem::path& root, int video_id);
+
+}  // namespace ps360::trace

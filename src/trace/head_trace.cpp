@@ -1,0 +1,134 @@
+#include "trace/head_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace ps360::trace {
+
+using geometry::EquirectPoint;
+
+HeadTrace::HeadTrace(int video_id, int user_id, std::vector<HeadSample> samples)
+    : video_id_(video_id), user_id_(user_id), samples_(std::move(samples)) {
+  PS360_CHECK_MSG(!samples_.empty(), "head trace must have samples");
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    PS360_CHECK_MSG(samples_[i].t > samples_[i - 1].t,
+                    "head trace timestamps must be strictly increasing");
+  }
+}
+
+namespace {
+
+// Interpolate between two equirect points, taking the short way around in
+// longitude. frac in [0,1].
+EquirectPoint lerp_center(const EquirectPoint& a, const EquirectPoint& b, double frac) {
+  const double dx = geometry::wrap_delta(b.x, a.x);
+  const double x = geometry::wrap360(a.x + dx * frac);
+  const double y = a.y + (b.y - a.y) * frac;
+  return EquirectPoint{x, y};
+}
+
+}  // namespace
+
+EquirectPoint HeadTrace::center_at(double t) const {
+  if (t <= samples_.front().t) return samples_.front().center;
+  if (t >= samples_.back().t) return samples_.back().center;
+  const auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), t,
+      [](const HeadSample& s, double value) { return s.t < value; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double frac = (t - lo.t) / (hi.t - lo.t);
+  return lerp_center(lo.center, hi.center, frac);
+}
+
+geometry::Viewport HeadTrace::viewport_at(double t, double fov_deg) const {
+  return geometry::Viewport(center_at(t), fov_deg, fov_deg);
+}
+
+EquirectPoint HeadTrace::mean_center(double t0, double t1) const {
+  PS360_CHECK(t1 >= t0);
+  // Circular mean on x via unit-vector averaging; plain mean on y.
+  double sx = 0.0, sy = 0.0, y_sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : samples_) {
+    if (s.t < t0 || s.t > t1) continue;
+    const double rad = geometry::deg_to_rad(s.center.x);
+    sx += std::cos(rad);
+    sy += std::sin(rad);
+    y_sum += s.center.y;
+    ++n;
+  }
+  if (n == 0) return center_at((t0 + t1) / 2.0);
+  double x;
+  if (sx == 0.0 && sy == 0.0) {
+    x = center_at((t0 + t1) / 2.0).x;  // degenerate: antipodal spread
+  } else {
+    x = geometry::wrap360(geometry::rad_to_deg(std::atan2(sy, sx)));
+  }
+  return EquirectPoint{x, y_sum / static_cast<double>(n)};
+}
+
+double HeadTrace::switching_speed(double t0, double t1) const {
+  PS360_CHECK(t1 > t0);
+  // Great-circle path length over the window / elapsed time (Eq. 5 applied
+  // per consecutive sample pair and aggregated).
+  double path_deg = 0.0;
+  geometry::Vec3 prev = center_at(t0).orientation();
+  double prev_t = t0;
+  bool any = false;
+  for (const auto& s : samples_) {
+    if (s.t <= t0 || s.t >= t1) continue;
+    const geometry::Vec3 cur = s.center.orientation();
+    path_deg += geometry::angular_distance_deg(prev, cur);
+    prev = cur;
+    prev_t = s.t;
+    any = true;
+  }
+  const geometry::Vec3 last = center_at(t1).orientation();
+  path_deg += geometry::angular_distance_deg(prev, last);
+  (void)prev_t;
+  (void)any;
+  return path_deg / (t1 - t0);
+}
+
+std::vector<double> HeadTrace::switching_speed_series() const {
+  std::vector<double> speeds;
+  if (samples_.size() < 2) return speeds;
+  speeds.reserve(samples_.size() - 1);
+  geometry::Vec3 prev = samples_.front().center.orientation();
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const geometry::Vec3 cur = samples_[i].center.orientation();
+    const double dt = samples_[i].t - samples_[i - 1].t;
+    speeds.push_back(geometry::switching_speed_deg_per_s(prev, cur, dt));
+    prev = cur;
+  }
+  return speeds;
+}
+
+void save_head_trace(const std::filesystem::path& path, const HeadTrace& trace) {
+  util::CsvTable table;
+  table.header = {"t", "x", "y"};
+  table.rows.reserve(trace.samples().size());
+  for (const auto& s : trace.samples())
+    table.rows.push_back({s.t, s.center.x, s.center.y});
+  util::write_csv_file(path, table);
+}
+
+HeadTrace load_head_trace(const std::filesystem::path& path, int video_id, int user_id) {
+  const util::CsvTable table = util::read_csv_file(path, /*has_header=*/true);
+  const std::size_t ct = table.column("t");
+  const std::size_t cx = table.column("x");
+  const std::size_t cy = table.column("y");
+  std::vector<HeadSample> samples;
+  samples.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    samples.push_back(
+        HeadSample{row[ct], geometry::EquirectPoint::make(row[cx], row[cy])});
+  }
+  return HeadTrace(video_id, user_id, std::move(samples));
+}
+
+}  // namespace ps360::trace

@@ -1,0 +1,62 @@
+// Head-movement traces: the (timestamp, viewing-center) series recorded by a
+// headset at a fixed sampling rate (50 Hz in the dataset the paper uses).
+//
+// A HeadTrace is what every downstream consumer sees — the Ptile clusterer,
+// the ridge-regression viewport predictor, the switching-speed model (Eq. 5)
+// and the streaming simulator. Traces can come from the built-in synthesizer
+// (trace/head_synth.h) or be loaded from CSV in the dataset's (t, x, y)
+// form, so the real dataset can be swapped in.
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "geometry/viewport.h"
+
+namespace ps360::trace {
+
+struct HeadSample {
+  double t = 0.0;  // seconds from video start
+  geometry::EquirectPoint center;
+};
+
+class HeadTrace {
+ public:
+  // Samples must be non-empty and strictly increasing in time.
+  HeadTrace(int video_id, int user_id, std::vector<HeadSample> samples);
+
+  int video_id() const { return video_id_; }
+  int user_id() const { return user_id_; }
+  const std::vector<HeadSample>& samples() const { return samples_; }
+  double duration() const { return samples_.back().t; }
+
+  // Viewing center at time t (clamped to the trace's time range), linearly
+  // interpolated with longitude-wraparound awareness.
+  geometry::EquirectPoint center_at(double t) const;
+
+  // The user's viewport at time t with the given FoV.
+  geometry::Viewport viewport_at(double t, double fov_deg = 100.0) const;
+
+  // Mean viewing center over [t0, t1] (wrap-aware circular mean on x).
+  geometry::EquirectPoint mean_center(double t0, double t1) const;
+
+  // Eq. 5 view-switching speed (degrees/second) averaged over [t0, t1]:
+  // total great-circle path length between consecutive samples divided by
+  // the elapsed time.
+  double switching_speed(double t0, double t1) const;
+
+  // Instantaneous switching speeds for every consecutive sample pair; used
+  // to build the Fig. 5 distribution.
+  std::vector<double> switching_speed_series() const;
+
+ private:
+  int video_id_;
+  int user_id_;
+  std::vector<HeadSample> samples_;
+};
+
+// CSV persistence. Columns: t,x,y (header included on write).
+void save_head_trace(const std::filesystem::path& path, const HeadTrace& trace);
+HeadTrace load_head_trace(const std::filesystem::path& path, int video_id, int user_id);
+
+}  // namespace ps360::trace

@@ -1,0 +1,157 @@
+#include "trace/network_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/rng.h"
+
+namespace ps360::trace {
+
+NetworkTrace::NetworkTrace(std::vector<ThroughputSample> samples)
+    : samples_(std::move(samples)) {
+  PS360_CHECK_MSG(!samples_.empty(), "network trace must have samples");
+  PS360_CHECK_MSG(samples_.front().t >= 0.0, "trace must start at t >= 0");
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    PS360_CHECK_MSG(samples_[i].mbps > 0.0, "throughput must be positive");
+    if (i > 0)
+      PS360_CHECK_MSG(samples_[i].t > samples_[i - 1].t,
+                      "trace timestamps must be strictly increasing");
+  }
+  const double last_step =
+      samples_.size() >= 2
+          ? samples_.back().t - samples_[samples_.size() - 2].t
+          : 1.0;
+  end_time_ = samples_.back().t + last_step;
+}
+
+double NetworkTrace::wrap_time(double t) const {
+  if (t < samples_.front().t) return samples_.front().t;
+  const double span = end_time_ - samples_.front().t;
+  double w = std::fmod(t - samples_.front().t, span);
+  return samples_.front().t + w;
+}
+
+std::size_t NetworkTrace::index_at(double wrapped_t) const {
+  const auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), wrapped_t,
+      [](double value, const ThroughputSample& s) { return value < s.t; });
+  if (it == samples_.begin()) return 0;
+  return static_cast<std::size_t>(it - samples_.begin()) - 1;
+}
+
+double NetworkTrace::throughput_at(double t) const {
+  return samples_[index_at(wrap_time(t))].mbps;
+}
+
+double NetworkTrace::bytes_in(double t0, double t1) const {
+  PS360_CHECK(t1 >= t0);
+  // Integrate piecewise-constant Mbps over wall time; step through samples,
+  // wrapping at the trace end. Mbps -> bytes/s is * 1e6 / 8.
+  double bytes = 0.0;
+  double t = t0;
+  while (t < t1 - 1e-12) {
+    const double wt = wrap_time(t);
+    const std::size_t idx = index_at(wt);
+    const double seg_end_local =
+        (idx + 1 < samples_.size()) ? samples_[idx + 1].t : end_time_;
+    double chunk = seg_end_local - wt;
+    if (chunk <= 0.0) chunk = 1e-6;  // numeric guard at the wrap boundary
+    chunk = std::min(chunk, t1 - t);
+    bytes += samples_[idx].mbps * 1e6 / 8.0 * chunk;
+    t += chunk;
+  }
+  return bytes;
+}
+
+double NetworkTrace::time_to_download(double bytes, double t0) const {
+  PS360_CHECK(bytes >= 0.0);
+  if (bytes == 0.0) return 0.0;
+  double remaining = bytes;
+  double t = t0;
+  for (;;) {
+    const double wt = wrap_time(t);
+    const std::size_t idx = index_at(wt);
+    const double seg_end_local =
+        (idx + 1 < samples_.size()) ? samples_[idx + 1].t : end_time_;
+    double chunk = seg_end_local - wt;
+    if (chunk <= 0.0) chunk = 1e-6;
+    const double rate_bytes_s = samples_[idx].mbps * 1e6 / 8.0;
+    const double deliverable = rate_bytes_s * chunk;
+    if (deliverable >= remaining) return (t - t0) + remaining / rate_bytes_s;
+    remaining -= deliverable;
+    t += chunk;
+  }
+}
+
+double NetworkTrace::mean_mbps(double t0, double t1) const {
+  PS360_CHECK(t1 > t0);
+  return bytes_in(t0, t1) * 8.0 / 1e6 / (t1 - t0);
+}
+
+std::vector<double> NetworkTrace::rates_mbps() const {
+  std::vector<double> rates;
+  rates.reserve(samples_.size());
+  for (const auto& s : samples_) rates.push_back(s.mbps);
+  return rates;
+}
+
+NetworkTrace NetworkTrace::scaled(double factor) const {
+  PS360_CHECK(factor > 0.0);
+  std::vector<ThroughputSample> scaled_samples = samples_;
+  for (auto& s : scaled_samples) s.mbps *= factor;
+  return NetworkTrace(std::move(scaled_samples));
+}
+
+NetworkTrace synthesize_network_trace(const NetworkSynthConfig& config) {
+  PS360_CHECK(config.duration_s > 0.0 && config.step_s > 0.0);
+  PS360_CHECK(config.min_mbps > 0.0 && config.min_mbps < config.max_mbps);
+  PS360_CHECK(config.mean_mbps > config.min_mbps && config.mean_mbps < config.max_mbps);
+  util::Rng rng(util::derive_seed(config.seed, 0x4E7770ULL));
+  const std::size_t n = static_cast<std::size_t>(std::ceil(config.duration_s / config.step_s));
+  std::vector<ThroughputSample> samples;
+  samples.reserve(n);
+  double rate = config.mean_mbps;
+  for (std::size_t i = 0; i < n; ++i) {
+    samples.push_back(ThroughputSample{static_cast<double>(i) * config.step_s, rate});
+    const double innovation = rng.normal(0.0, config.volatility);
+    rate += config.reversion * (config.mean_mbps - rate) + innovation;
+    // Reflect at the bounds rather than clamping, so the walk does not stick
+    // to the floor/ceiling (LTE traces show excursions, not saturation).
+    if (rate < config.min_mbps) rate = config.min_mbps + (config.min_mbps - rate);
+    if (rate > config.max_mbps) rate = config.max_mbps - (rate - config.max_mbps);
+    rate = std::clamp(rate, config.min_mbps, config.max_mbps);
+  }
+  return NetworkTrace(std::move(samples));
+}
+
+std::pair<NetworkTrace, NetworkTrace> make_paper_traces(std::uint64_t seed,
+                                                        double duration_s) {
+  NetworkSynthConfig config;
+  config.seed = seed;
+  config.duration_s = duration_s;
+  NetworkTrace trace2 = synthesize_network_trace(config);
+  NetworkTrace trace1 = trace2.scaled(2.0);
+  return {std::move(trace1), std::move(trace2)};
+}
+
+void save_network_trace(const std::filesystem::path& path, const NetworkTrace& trace) {
+  util::CsvTable table;
+  table.header = {"t", "mbps"};
+  for (const auto& s : trace.samples()) table.rows.push_back({s.t, s.mbps});
+  util::write_csv_file(path, table);
+}
+
+NetworkTrace load_network_trace(const std::filesystem::path& path) {
+  const util::CsvTable table = util::read_csv_file(path, /*has_header=*/true);
+  const std::size_t ct = table.column("t");
+  const std::size_t cm = table.column("mbps");
+  std::vector<ThroughputSample> samples;
+  samples.reserve(table.rows.size());
+  for (const auto& row : table.rows)
+    samples.push_back(ThroughputSample{row[ct], row[cm]});
+  return NetworkTrace(std::move(samples));
+}
+
+}  // namespace ps360::trace

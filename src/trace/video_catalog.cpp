@@ -1,0 +1,65 @@
+#include "trace/video_catalog.h"
+
+#include <stdexcept>
+
+namespace ps360::trace {
+
+namespace {
+
+std::vector<VideoInfo> make_test_videos() {
+  // Durations transcribed from Table III (mm:ss). SI/TI baselines and
+  // attractor parameters are genre-informed: sports content has higher
+  // motion (TI) and one or few fast points of interest; staged performances
+  // are spatially rich (SI) but slower.
+  return {
+      {1, "Basketball Match", 361.0, 30.0, true, 55.0, 17.5, 1, 12.0},
+      {2, "Showtime Boxing", 172.0, 30.0, true, 45.0, 15.2, 1, 8.0},
+      {3, "Festival Gala", 373.0, 30.0, true, 70.0, 13.0, 1, 5.0},
+      {4, "Idol Dancing", 278.0, 30.0, true, 60.0, 12.1, 1, 6.0},
+      {5, "Moving Rhinos", 292.0, 30.0, false, 50.0, 19.8, 3, 10.0},
+      {6, "Football Match", 164.0, 30.0, false, 65.0, 22.0, 2, 15.0},
+      {7, "Tahiti Surf", 205.0, 30.0, false, 40.0, 24.2, 3, 18.0},
+      {8, "Freestyle Skiing", 201.0, 30.0, false, 55.0, 28.8, 3, 20.0},
+  };
+}
+
+std::vector<VideoInfo> make_extended_videos() {
+  std::vector<VideoInfo> all = make_test_videos();
+  // Ten additional genres covering the SI/TI spread of Fig. 4(a): from
+  // near-static scenery (low TI) to frantic action (high TI), and from
+  // texture-poor (low SI) to detail-rich (high SI) frames.
+  const std::vector<VideoInfo> extra = {
+      {9, "Ocean Dive", 242.0, 30.0, false, 30.0, 9.4, 2, 6.0},
+      {10, "Rollercoaster", 118.0, 30.0, true, 48.0, 31.0, 1, 25.0},
+      {11, "City Walk Tour", 306.0, 30.0, false, 75.0, 16.6, 3, 9.0},
+      {12, "Symphony Concert", 412.0, 30.0, true, 66.0, 7.6, 1, 3.0},
+      {13, "Desert Safari", 267.0, 30.0, false, 35.0, 13.9, 2, 8.0},
+      {14, "Stunt Plane", 143.0, 30.0, true, 25.0, 26.5, 1, 22.0},
+      {15, "Art Museum", 329.0, 30.0, false, 80.0, 6.2, 3, 2.0},
+      {16, "Street Parade", 254.0, 30.0, false, 72.0, 21.1, 2, 11.0},
+      {17, "Mountain Cable Car", 221.0, 30.0, true, 42.0, 10.8, 1, 5.0},
+      {18, "Dance Battle", 187.0, 30.0, true, 58.0, 22.9, 1, 14.0},
+  };
+  all.insert(all.end(), extra.begin(), extra.end());
+  return all;
+}
+
+}  // namespace
+
+const std::vector<VideoInfo>& test_videos() {
+  static const std::vector<VideoInfo> videos = make_test_videos();
+  return videos;
+}
+
+const std::vector<VideoInfo>& extended_videos() {
+  static const std::vector<VideoInfo> videos = make_extended_videos();
+  return videos;
+}
+
+const VideoInfo& video_by_id(int id) {
+  for (const auto& v : extended_videos())
+    if (v.id == id) return v;
+  throw std::invalid_argument("unknown video id: " + std::to_string(id));
+}
+
+}  // namespace ps360::trace

@@ -1,0 +1,37 @@
+// Minimal CSV reading/writing for traces.
+//
+// Head-movement and network traces can be persisted to disk and reloaded, so
+// that users can plug in the real dataset from the paper ([8] and [27]) in
+// place of the built-in synthesizers. The dialect is deliberately simple:
+// comma separator, '#' comment lines, no quoting (our data is numeric).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace ps360::util {
+
+struct CsvTable {
+  std::vector<std::string> header;          // empty if the file had no header
+  std::vector<std::vector<double>> rows;    // numeric cells, row-major
+
+  // Index of a named column; throws std::invalid_argument if missing.
+  std::size_t column(const std::string& name) const;
+};
+
+// Parse CSV text. If `has_header` is true the first non-comment line is
+// treated as column names. Throws std::invalid_argument on malformed input
+// (non-numeric cell, ragged row).
+CsvTable parse_csv(const std::string& text, bool has_header);
+
+// Read and parse a CSV file; throws std::runtime_error if unreadable.
+CsvTable read_csv_file(const std::filesystem::path& path, bool has_header);
+
+// Serialise a table (header optional) to CSV text with full double precision.
+std::string to_csv(const CsvTable& table);
+
+// Write a table to a file; throws std::runtime_error on I/O failure.
+void write_csv_file(const std::filesystem::path& path, const CsvTable& table);
+
+}  // namespace ps360::util

@@ -1,0 +1,83 @@
+// Descriptive statistics used throughout the evaluation pipeline:
+// harmonic-mean bandwidth estimation, CDFs for Fig. 8, Pearson correlation
+// for the QoE fit quality (Table II), percentile summaries for traces.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ps360::util {
+
+// Arithmetic mean; requires non-empty input.
+double mean(const std::vector<double>& values);
+
+// Unbiased sample variance (n-1 denominator); requires >= 2 values.
+double variance(const std::vector<double>& values);
+
+// Sample standard deviation.
+double stddev(const std::vector<double>& values);
+
+// Harmonic mean; requires non-empty input of strictly positive values.
+// This is the estimator the paper uses for throughput prediction: it damps
+// the influence of transient spikes relative to the arithmetic mean.
+double harmonic_mean(const std::vector<double>& values);
+
+// Linear-interpolated percentile, p in [0, 100]; requires non-empty input.
+// Does not assume sorted input.
+double percentile(std::vector<double> values, double p);
+
+// Median — percentile(values, 50).
+double median(const std::vector<double>& values);
+
+// Pearson correlation coefficient between two equal-length series with
+// non-zero variance each.
+double pearson_correlation(const std::vector<double>& a, const std::vector<double>& b);
+
+// Root-mean-square error between two equal-length series.
+double rmse(const std::vector<double>& a, const std::vector<double>& b);
+
+// Fraction of values strictly greater than the threshold.
+double fraction_above(const std::vector<double>& values, double threshold);
+
+// Empirical CDF: sorted samples with evaluation helpers. Used to print the
+// Fig. 8 size-ratio distributions.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  std::size_t size() const { return sorted_.size(); }
+
+  // P(X <= x).
+  double at(double x) const;
+
+  // Inverse CDF (quantile), q in [0, 1].
+  double quantile(double q) const;
+
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// Streaming accumulator for count/mean/min/max/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  // sample variance; requires count >= 2
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace ps360::util

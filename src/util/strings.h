@@ -1,0 +1,37 @@
+// String formatting helpers, including the fixed-width table printer the
+// bench binaries use to render paper tables/figures as text.
+//
+// (GCC 12 lacks <format>, so we provide a small printf-backed strfmt.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ps360::util {
+
+// snprintf-backed formatting into a std::string.
+// Usage: strfmt("%.2f mW", value)
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Fixed-width text table with a header row, used by every bench binary so
+// the regenerated paper tables share one consistent look.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Append a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  // Render with column-aligned padding and a separator under the header.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "1.23x" style helpers used in normalized-figure output.
+std::string format_ratio(double ratio);
+std::string format_percent(double fraction);  // 0.497 -> "49.7%"
+
+}  // namespace ps360::util

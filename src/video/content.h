@@ -1,0 +1,36 @@
+// Per-segment content features: the spatial (SI) and temporal (TI)
+// perceptual information of ITU-T P.910 that the QoE model (Eq. 3) and the
+// frame-rate sensitivity parameter α = S_fov / TI (Eq. 4) consume.
+//
+// In the paper these are computed from the decoded frames; here they are a
+// deterministic function of (video id, segment index) varying smoothly
+// around the genre baselines of trace::VideoInfo, with hash-keyed jitter so
+// no two segments are identical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "trace/video_catalog.h"
+
+namespace ps360::video {
+
+struct ContentFeatures {
+  double si = 50.0;  // spatial detail, clamped to [10, 90]
+  double ti = 25.0;  // motion intensity, clamped to [2, 80]
+};
+
+// Number of L-second segments in a video (the last partial segment is kept).
+std::size_t segment_count(const trace::VideoInfo& video, double segment_seconds);
+
+// Content features of one segment. Deterministic; `seed` decorrelates
+// different experiment universes.
+ContentFeatures segment_features(const trace::VideoInfo& video, std::size_t segment_index,
+                                 std::uint64_t seed = 42);
+
+// Video-level mean features (averaged over all segments), used for the
+// Fig. 4(a) scatter.
+ContentFeatures video_features(const trace::VideoInfo& video, double segment_seconds,
+                               std::uint64_t seed = 42);
+
+}  // namespace ps360::video

@@ -1,0 +1,37 @@
+#include "video/quality.h"
+
+#include "util/check.h"
+
+namespace ps360::video {
+
+int QualityLadder::crf(int level) {
+  PS360_CHECK(level >= kMinLevel && level <= kMaxLevel);
+  return 38 - (level - 1) * 5;
+}
+
+double QualityLadder::rate_factor(int level) {
+  PS360_CHECK(level >= kMinLevel && level <= kMaxLevel);
+  // Relative bitrate at CRF 38/33/28/23/18 versus CRF 18, for 4K 360°
+  // content. Roughly "halve per +5 CRF" in the middle of the ladder, with a
+  // steeper drop toward the quality floor (x264 spends very few bits once
+  // quantization is coarse) — in line with published rate-CRF curves.
+  static constexpr double kFactors[kLevels] = {0.018, 0.055, 0.155, 0.40, 1.0};
+  return kFactors[static_cast<std::size_t>(level - kMinLevel)];
+}
+
+FrameRateLadder::FrameRateLadder(double original_fps) : original_fps_(original_fps) {
+  PS360_CHECK(original_fps > 0.0);
+}
+
+double FrameRateLadder::fps(std::size_t index) const {
+  return original_fps_ * ratio(index);
+}
+
+double FrameRateLadder::ratio(std::size_t index) const {
+  PS360_CHECK(index >= 1 && index <= kOptions);
+  // index kOptions = original; each step below removes 10% of frames.
+  const double reduction = 0.1 * static_cast<double>(kOptions - index);
+  return 1.0 - reduction;
+}
+
+}  // namespace ps360::video

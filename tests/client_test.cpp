@@ -1,0 +1,146 @@
+// Tests for sim::StreamingClient — the paper's per-segment loop driven
+// manually, with hand-chosen download times instead of a network trace.
+#include <gtest/gtest.h>
+
+#include "sim/client.h"
+#include "sim/session.h"
+
+namespace ps360::sim {
+namespace {
+
+struct ClientFixture {
+  ClientFixture() {
+    static const trace::VideoInfo video = [] {
+      trace::VideoInfo v = trace::test_videos()[1];  // focused video
+      v.duration_s = 20.0;
+      return v;
+    }();
+    static const VideoWorkload shared_workload(video, WorkloadConfig{});
+    workload = &shared_workload;
+    env.workload = workload;
+    env.encoding = &encoding;
+    env.qo_model = &qo_model;
+    env.device = &power::device_model(power::Device::kPixel3);
+    scheme = make_scheme(SchemeKind::kOurs, env);
+  }
+
+  StreamingClient make_client(ClientConfig config = {}) const {
+    return StreamingClient(config, *workload, *scheme, workload->test_trace(0));
+  }
+
+  const VideoWorkload* workload;
+  video::EncodingModel encoding;
+  qoe::QoModel qo_model{qoe::QoParams{}, 4.0};
+  SchemeEnv env;
+  std::unique_ptr<Scheme> scheme;
+};
+
+TEST(StreamingClientTest, WalksEverySegmentExactlyOnce) {
+  const ClientFixture fixture;
+  auto client = fixture.make_client();
+  std::size_t planned = 0;
+  while (auto request = client.plan_next()) {
+    EXPECT_EQ(request->segment, planned);
+    client.complete_download(0.4);
+    ++planned;
+  }
+  EXPECT_EQ(planned, fixture.workload->segment_count());
+  EXPECT_TRUE(client.finished());
+  EXPECT_FALSE(client.plan_next().has_value());
+}
+
+TEST(StreamingClientTest, BufferFollowsEq6) {
+  const ClientFixture fixture;
+  auto client = fixture.make_client();
+  const double L = 1.0;
+  const double beta = 3.0;
+
+  // Fast downloads fill the buffer to the threshold, then the Δt wait kicks
+  // in and holds it there.
+  double expected_buffer = 0.0;
+  for (int k = 0; k < 8; ++k) {
+    const auto request = client.plan_next();
+    ASSERT_TRUE(request.has_value());
+    // Eq. 6 wait: the client never requests with more than β buffered.
+    EXPECT_LE(request->buffer_at_request_s, beta + 1e-12);
+    const double expected_wait = std::max(expected_buffer - beta, 0.0);
+    EXPECT_NEAR(request->wait_s, expected_wait, 1e-12);
+    const double download_s = 0.25;
+    const double stall = client.complete_download(download_s);
+    EXPECT_DOUBLE_EQ(stall, 0.0);
+    expected_buffer =
+        std::max(expected_buffer - expected_wait - download_s, 0.0) + L;
+    EXPECT_NEAR(client.buffer_s(), expected_buffer, 1e-12);
+  }
+  EXPECT_NEAR(client.buffer_s(), beta + L - 0.25, 1e-9);
+}
+
+TEST(StreamingClientTest, StallAccountedWhenDownloadOutlastsBuffer) {
+  const ClientFixture fixture;
+  auto client = fixture.make_client();
+  ASSERT_TRUE(client.plan_next().has_value());
+  EXPECT_DOUBLE_EQ(client.complete_download(5.0), 0.0);  // startup excluded
+  ASSERT_TRUE(client.plan_next().has_value());
+  // Buffer is 1 s (one segment); a 2.5 s download stalls 1.5 s.
+  const double stall = client.complete_download(2.5);
+  EXPECT_NEAR(stall, 1.5, 1e-12);
+  EXPECT_NEAR(client.buffer_s(), 1.0, 1e-12);  // drained, then refilled by L
+}
+
+TEST(StreamingClientTest, WallClockAdvancesByWaitAndDownload) {
+  const ClientFixture fixture;
+  auto client = fixture.make_client();
+  double expected_wall = 0.0;
+  for (int k = 0; k < 6; ++k) {
+    const auto request = client.plan_next();
+    ASSERT_TRUE(request.has_value());
+    expected_wall += request->wait_s;
+    client.complete_download(0.5);
+    expected_wall += 0.5;
+    EXPECT_NEAR(client.wall_time_s(), expected_wall, 1e-12);
+  }
+}
+
+TEST(StreamingClientTest, PlayheadLagsDownloadsByBuffer) {
+  const ClientFixture fixture;
+  auto client = fixture.make_client();
+  for (int k = 0; k < 5; ++k) {
+    ASSERT_TRUE(client.plan_next().has_value());
+    client.complete_download(0.5);
+  }
+  EXPECT_NEAR(client.playhead_s(),
+              static_cast<double>(client.next_segment()) - client.buffer_s(), 1e-12);
+}
+
+TEST(StreamingClientTest, ProtocolMisuseThrows) {
+  const ClientFixture fixture;
+  auto client = fixture.make_client();
+  EXPECT_THROW(client.complete_download(0.5), std::invalid_argument);
+  ASSERT_TRUE(client.plan_next().has_value());
+  EXPECT_THROW(client.plan_next(), std::invalid_argument);
+  EXPECT_THROW(client.complete_download(0.0), std::invalid_argument);
+  EXPECT_NO_THROW(client.complete_download(0.5));
+}
+
+TEST(StreamingClientTest, SlowBandwidthEstimateLowersQuality) {
+  const ClientFixture fixture;
+  auto fast_client = fixture.make_client();
+  auto slow_client = fixture.make_client();
+  int fast_quality = 0, slow_quality = 0;
+  for (int k = 0; k < 10; ++k) {
+    const auto fast_request = fast_client.plan_next();
+    const auto slow_request = slow_client.plan_next();
+    ASSERT_TRUE(fast_request && slow_request);
+    if (k >= 6) {  // after the estimators converge
+      fast_quality += fast_request->plan.option.quality;
+      slow_quality += slow_request->plan.option.quality;
+    }
+    // Feed very different observed rates.
+    fast_client.complete_download(std::max(fast_request->plan.option.bytes / 2e6, 1e-3));
+    slow_client.complete_download(std::max(slow_request->plan.option.bytes / 1e5, 1e-3));
+  }
+  EXPECT_GT(fast_quality, slow_quality);
+}
+
+}  // namespace
+}  // namespace ps360::sim

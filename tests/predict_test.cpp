@@ -1,0 +1,263 @@
+// Tests for the predict module: ridge-regression viewport prediction
+// (including longitude unwrapping and horizon behaviour) and the
+// harmonic-mean bandwidth estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "predict/bandwidth.h"
+#include "predict/bandwidth_estimators.h"
+#include "predict/predictors.h"
+#include "predict/viewport_predictor.h"
+#include "trace/head_synth.h"
+#include "trace/video_catalog.h"
+#include "util/stats.h"
+
+namespace ps360::predict {
+namespace {
+
+using trace::HeadSample;
+using trace::HeadTrace;
+
+HeadTrace linear_motion_trace(double x0, double speed_x, double y0, double speed_y,
+                              double duration, double rate_hz = 50.0) {
+  std::vector<HeadSample> samples;
+  const double dt = 1.0 / rate_hz;
+  for (double t = 0.0; t <= duration + 1e-9; t += dt) {
+    samples.push_back(HeadSample{
+        t, geometry::EquirectPoint::make(
+               x0 + speed_x * t,
+               std::clamp(y0 + speed_y * t, 0.0, 180.0))});
+  }
+  return HeadTrace(1, 0, std::move(samples));
+}
+
+TEST(ViewportPredictorTest, ExtrapolatesLinearMotion) {
+  const auto trace = linear_motion_trace(100.0, 20.0, 90.0, 0.0, 10.0);
+  const ViewportPredictor predictor;
+  // At t=5 moving 20 deg/s: at t=6 expect x ~ 220.
+  const auto predicted = predictor.predict(trace, 5.0, 6.0);
+  EXPECT_NEAR(predicted.x, 220.0, 2.0);
+  EXPECT_NEAR(predicted.y, 90.0, 1.0);
+}
+
+TEST(ViewportPredictorTest, HandlesWrapDuringHistory) {
+  // Motion crossing 360: unwrapping must keep the trend intact.
+  const auto trace = linear_motion_trace(350.0, 15.0, 90.0, 0.0, 10.0);
+  const ViewportPredictor predictor;
+  // At t=2 the center is at 350+30=20 (wrapped); at t=3 expect 35.
+  const auto predicted = predictor.predict(trace, 2.0, 3.0);
+  EXPECT_LT(geometry::circular_distance(predicted.x, 35.0), 2.0);
+}
+
+TEST(ViewportPredictorTest, StationaryGazeStaysPut) {
+  const auto trace = linear_motion_trace(123.0, 0.0, 77.0, 0.0, 10.0);
+  const ViewportPredictor predictor;
+  const auto predicted = predictor.predict(trace, 5.0, 7.0);
+  EXPECT_NEAR(predicted.x, 123.0, 0.5);
+  EXPECT_NEAR(predicted.y, 77.0, 0.5);
+}
+
+TEST(ViewportPredictorTest, ClampsLatitudePrediction) {
+  // Strong downward trend must not leave the sphere.
+  const auto trace = linear_motion_trace(10.0, 0.0, 170.0, 8.0, 10.0);
+  const ViewportPredictor predictor;
+  const auto predicted = predictor.predict(trace, 1.0, 4.0);
+  EXPECT_LE(predicted.y, 180.0);
+}
+
+TEST(ViewportPredictorTest, ShortHistoryFallsBackToHold) {
+  const auto trace = linear_motion_trace(100.0, 20.0, 90.0, 0.0, 10.0);
+  const ViewportPredictor predictor;
+  // now_t = 0: no history window at all -> hold the current center.
+  const auto predicted = predictor.predict(trace, 0.0, 1.0);
+  EXPECT_NEAR(predicted.x, 100.0, 1.0);
+}
+
+TEST(ViewportPredictorTest, RejectsBackwardTarget) {
+  const auto trace = linear_motion_trace(100.0, 0.0, 90.0, 0.0, 10.0);
+  const ViewportPredictor predictor;
+  EXPECT_THROW(predictor.predict(trace, 5.0, 4.0), std::invalid_argument);
+}
+
+TEST(ViewportPredictorTest, ShortHorizonBeatsLongHorizonOnRealTraces) {
+  // The paper's rationale for a small buffer: near-future predictions are
+  // far more accurate. Verify on synthetic head traces.
+  const trace::HeadTraceSynthesizer synth;
+  const ViewportPredictor predictor;
+  double err_short = 0.0, err_long = 0.0;
+  int count = 0;
+  for (int u = 0; u < 4; ++u) {
+    const auto head = synth.synthesize(trace::test_videos()[7], u);
+    for (double now = 5.0; now < 120.0; now += 4.0) {
+      const auto p_short = predictor.predict(head, now, now + 0.5);
+      const auto p_long = predictor.predict(head, now, now + 3.0);
+      err_short += geometry::wrapped_distance(p_short, head.center_at(now + 0.5));
+      err_long += geometry::wrapped_distance(p_long, head.center_at(now + 3.0));
+      ++count;
+    }
+  }
+  EXPECT_LT(err_short / count, err_long / count);
+  // Short-horizon error small relative to the 100-degree FoV.
+  EXPECT_LT(err_short / count, 15.0);
+}
+
+TEST(ViewportPredictorTest, RecentSwitchingSpeedTracksMotion) {
+  const auto fast = linear_motion_trace(0.0, 40.0, 90.0, 0.0, 10.0);
+  const auto slow = linear_motion_trace(0.0, 2.0, 90.0, 0.0, 10.0);
+  const ViewportPredictor predictor;
+  EXPECT_NEAR(predictor.recent_switching_speed(fast, 5.0), 40.0, 2.0);
+  EXPECT_NEAR(predictor.recent_switching_speed(slow, 5.0), 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(predictor.recent_switching_speed(fast, 0.0), 0.0);
+}
+
+TEST(ViewportPredictorTest, ConfigValidation) {
+  ViewportPredictorConfig config;
+  config.history_seconds = 0.0;
+  EXPECT_THROW(ViewportPredictor{config}, std::invalid_argument);
+  config = {};
+  config.poly_degree = 9;
+  EXPECT_THROW(ViewportPredictor{config}, std::invalid_argument);
+  config = {};
+  config.lambda = -1.0;
+  EXPECT_THROW(ViewportPredictor{config}, std::invalid_argument);
+}
+
+// ------------------------------------------------------ HarmonicEstimator
+
+TEST(HarmonicEstimatorTest, PriorBeforeObservations) {
+  const HarmonicMeanEstimator estimator(5, 123.0);
+  EXPECT_DOUBLE_EQ(estimator.estimate(), 123.0);
+}
+
+TEST(HarmonicEstimatorTest, HarmonicMeanOfWindow) {
+  HarmonicMeanEstimator estimator(3);
+  estimator.observe(2.0);
+  estimator.observe(4.0);
+  EXPECT_DOUBLE_EQ(estimator.estimate(), 2.0 / (1.0 / 2.0 + 1.0 / 4.0));
+}
+
+TEST(HarmonicEstimatorTest, WindowEvictsOldest) {
+  HarmonicMeanEstimator estimator(2);
+  estimator.observe(1.0);
+  estimator.observe(10.0);
+  estimator.observe(10.0);  // evicts the 1.0
+  EXPECT_DOUBLE_EQ(estimator.estimate(), 10.0);
+  EXPECT_EQ(estimator.observations(), 2u);
+}
+
+TEST(HarmonicEstimatorTest, DampsSpikesVsArithmeticMean) {
+  HarmonicMeanEstimator estimator(5);
+  const std::vector<double> rates = {4.0, 4.0, 4.0, 4.0, 40.0};
+  for (double r : rates) estimator.observe(r);
+  EXPECT_LT(estimator.estimate(), util::mean(rates));
+}
+
+TEST(HarmonicEstimatorTest, RejectsInvalid) {
+  EXPECT_THROW(HarmonicMeanEstimator(0), std::invalid_argument);
+  EXPECT_THROW(HarmonicMeanEstimator(5, 0.0), std::invalid_argument);
+  HarmonicMeanEstimator estimator(5);
+  EXPECT_THROW(estimator.observe(0.0), std::invalid_argument);
+}
+
+// ------------------------------------------------- Alternative predictors
+
+TEST(PredictorKindTest, NamesAndHoldSemantics) {
+  EXPECT_EQ(predictor_name(PredictorKind::kRidge), "ridge");
+  const auto trace = linear_motion_trace(100.0, 20.0, 90.0, 0.0, 10.0);
+  // Hold predicts the current position regardless of horizon.
+  const auto held = predict_with(PredictorKind::kHold, trace, 5.0, 8.0);
+  EXPECT_NEAR(held.x, 200.0, 0.5);
+  EXPECT_THROW(predict_with(PredictorKind::kHold, trace, 5.0, 4.0),
+               std::invalid_argument);
+}
+
+TEST(PredictorKindTest, LinearTracksRampHoldDoesNot) {
+  const auto trace = linear_motion_trace(100.0, 20.0, 90.0, 0.0, 10.0);
+  const auto linear = predict_with(PredictorKind::kLinear, trace, 5.0, 6.0);
+  EXPECT_NEAR(linear.x, 220.0, 1.0);
+  const double err_linear =
+      mean_prediction_error(PredictorKind::kLinear, trace, 1.0);
+  const double err_hold = mean_prediction_error(PredictorKind::kHold, trace, 1.0);
+  EXPECT_LT(err_linear, err_hold);
+}
+
+TEST(PredictorKindTest, RidgeCompetitiveOnRealTraces) {
+  // On noisy synthetic head traces ridge should not lose badly to either
+  // baseline at a 1-second horizon (the paper's motivation for ridge).
+  const trace::HeadTraceSynthesizer synth;
+  double ridge = 0.0, linear = 0.0, hold = 0.0;
+  for (int u = 0; u < 3; ++u) {
+    const auto head = synth.synthesize(trace::test_videos()[7], u);
+    ridge += mean_prediction_error(PredictorKind::kRidge, head, 1.0, 2.0);
+    linear += mean_prediction_error(PredictorKind::kLinear, head, 1.0, 2.0);
+    hold += mean_prediction_error(PredictorKind::kHold, head, 1.0, 2.0);
+  }
+  EXPECT_LT(ridge, linear * 1.05);
+  EXPECT_LT(ridge, hold * 1.3);
+}
+
+TEST(PredictorKindTest, OracleIsExactAndBeatsEveryone) {
+  EXPECT_EQ(predictor_name(PredictorKind::kOracle), "oracle");
+  const trace::HeadTraceSynthesizer synth;
+  const auto head = synth.synthesize(trace::test_videos()[7], 1);
+  EXPECT_NEAR(mean_prediction_error(PredictorKind::kOracle, head, 1.0, 2.0), 0.0,
+              1e-9);
+  EXPECT_LT(mean_prediction_error(PredictorKind::kOracle, head, 1.0, 2.0),
+            mean_prediction_error(PredictorKind::kRidge, head, 1.0, 2.0));
+}
+
+TEST(PredictorKindTest, ConfigFactoryShapes) {
+  const auto hold_cfg = make_predictor_config(PredictorKind::kHold);
+  EXPECT_GT(hold_cfg.lambda, 1e6);
+  const auto linear_cfg = make_predictor_config(PredictorKind::kLinear);
+  EXPECT_EQ(linear_cfg.poly_degree, 1u);
+  EXPECT_DOUBLE_EQ(linear_cfg.lambda, 0.0);
+  const auto ridge_cfg = make_predictor_config(PredictorKind::kRidge);
+  EXPECT_EQ(ridge_cfg.poly_degree, 2u);
+}
+
+// ------------------------------------------- Alternative bandwidth models
+
+TEST(BandwidthEstimatorsTest, LastFollowsLatestObservation) {
+  const auto est = make_bandwidth_estimator(BandwidthEstimatorKind::kLast);
+  est->observe(100.0);
+  est->observe(250.0);
+  EXPECT_DOUBLE_EQ(est->estimate(), 250.0);
+}
+
+TEST(BandwidthEstimatorsTest, MeanVsHarmonicOnSpikyInput) {
+  const auto mean = make_bandwidth_estimator(BandwidthEstimatorKind::kMean, 5, 1.0);
+  const auto harmonic =
+      make_bandwidth_estimator(BandwidthEstimatorKind::kHarmonic, 5, 1.0);
+  for (double r : {4.0, 4.0, 4.0, 4.0, 40.0}) {
+    mean->observe(r);
+    harmonic->observe(r);
+  }
+  // The harmonic mean damps the spike (the paper's rationale).
+  EXPECT_LT(harmonic->estimate(), mean->estimate());
+  EXPECT_NEAR(harmonic->estimate(), 5.0 / (4.0 / 4.0 + 1.0 / 40.0), 1e-9);
+}
+
+TEST(BandwidthEstimatorsTest, EwmaConvergesGeometrically) {
+  const auto ewma =
+      make_bandwidth_estimator(BandwidthEstimatorKind::kEwma, 5, 1.0, 0.5);
+  ewma->observe(100.0);  // first observation seeds directly
+  EXPECT_DOUBLE_EQ(ewma->estimate(), 100.0);
+  ewma->observe(200.0);
+  EXPECT_DOUBLE_EQ(ewma->estimate(), 150.0);
+  ewma->observe(200.0);
+  EXPECT_DOUBLE_EQ(ewma->estimate(), 175.0);
+}
+
+TEST(BandwidthEstimatorsTest, AllReturnPriorBeforeData) {
+  for (std::size_t k = 0; k < kBandwidthEstimatorKindCount; ++k) {
+    const auto kind = static_cast<BandwidthEstimatorKind>(k);
+    const auto est = make_bandwidth_estimator(kind, 5, 777.0);
+    EXPECT_DOUBLE_EQ(est->estimate(), 777.0) << bandwidth_estimator_name(kind);
+    EXPECT_THROW(est->observe(0.0), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace ps360::predict

@@ -1,0 +1,409 @@
+// Tests for the ptile module: k-means on the wrapped plane, Algorithm 1
+// clustering (linkage, diameter cap, seeding), Ptile construction with
+// background blocks, and the Ftile baseline layout.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ptile/clusterer.h"
+#include "ptile/ftile.h"
+#include "ptile/heatmap.h"
+#include "ptile/kmeans.h"
+#include "ptile/ptile.h"
+#include "util/rng.h"
+
+namespace ps360::ptile {
+namespace {
+
+using geometry::EquirectPoint;
+using geometry::Viewport;
+
+std::vector<EquirectPoint> blob(double cx, double cy, double radius, std::size_t n,
+                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<EquirectPoint> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back(EquirectPoint::make(cx + rng.uniform(-radius, radius),
+                                         std::clamp(cy + rng.uniform(-radius, radius),
+                                                    0.0, 180.0)));
+  }
+  return points;
+}
+
+// ------------------------------------------------------------------ kmeans
+
+TEST(KMeansTest, CentroidCircularMeanAcrossSeam) {
+  const std::vector<EquirectPoint> points = {EquirectPoint::make(355.0, 90.0),
+                                             EquirectPoint::make(5.0, 90.0)};
+  const auto c = centroid(points, {0, 1}, {});
+  EXPECT_LT(geometry::circular_distance(c.x, 0.0), 1e-9);
+  EXPECT_DOUBLE_EQ(c.y, 90.0);
+}
+
+TEST(KMeansTest, WeightedCentroidLeansTowardWeight) {
+  const std::vector<EquirectPoint> points = {EquirectPoint::make(10.0, 90.0),
+                                             EquirectPoint::make(30.0, 90.0)};
+  const auto c = centroid(points, {0, 1}, {3.0, 1.0});
+  EXPECT_LT(c.x, 20.0);
+}
+
+TEST(KMeansTest, SeparatesTwoBlobs) {
+  auto points = blob(60.0, 80.0, 5.0, 20, 1);
+  const auto other = blob(200.0, 100.0, 5.0, 20, 2);
+  points.insert(points.end(), other.begin(), other.end());
+  util::Rng rng(3);
+  const auto result = kmeans(points, {}, 2, rng);
+  // All of the first 20 share a cluster; all of the last 20 the other.
+  const std::size_t c0 = result.assignment[0];
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(result.assignment[i], c0);
+  const std::size_t c1 = result.assignment[20];
+  EXPECT_NE(c0, c1);
+  for (std::size_t i = 20; i < 40; ++i) EXPECT_EQ(result.assignment[i], c1);
+}
+
+TEST(KMeansTest, Split2DeterministicAndBalancedOnTwoBlobs) {
+  auto points = blob(100.0, 90.0, 4.0, 15, 4);
+  const auto other = blob(160.0, 90.0, 4.0, 15, 5);
+  points.insert(points.end(), other.begin(), other.end());
+  const auto a = kmeans_split2(points);
+  const auto b = kmeans_split2(points);
+  EXPECT_EQ(a.assignment, b.assignment);  // fully deterministic
+  const auto groups = a.groups();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].size(), 15u);
+  EXPECT_EQ(groups[1].size(), 15u);
+}
+
+TEST(KMeansTest, SplitAcrossSeam) {
+  // Two blobs straddling the wrap: 350 and 10 degrees are close; 180 is far.
+  auto points = blob(355.0, 90.0, 3.0, 10, 6);
+  const auto other = blob(180.0, 90.0, 3.0, 10, 7);
+  points.insert(points.end(), other.begin(), other.end());
+  const auto result = kmeans_split2(points);
+  const auto groups = result.groups();
+  EXPECT_EQ(groups[0].size(), 10u);
+  EXPECT_EQ(groups[1].size(), 10u);
+}
+
+TEST(KMeansTest, InertiaNonNegativeAndZeroForIdenticalPoints) {
+  const std::vector<EquirectPoint> same(5, EquirectPoint::make(42.0, 90.0));
+  util::Rng rng(8);
+  const auto result = kmeans(same, {}, 1, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, ValidatesArguments) {
+  util::Rng rng(9);
+  const auto points = blob(10.0, 90.0, 2.0, 3, 10);
+  EXPECT_THROW(kmeans(points, {}, 0, rng), std::invalid_argument);
+  EXPECT_THROW(kmeans(points, {}, 4, rng), std::invalid_argument);
+  EXPECT_THROW(kmeans(points, {1.0, 1.0}, 2, rng), std::invalid_argument);
+  EXPECT_THROW(kmeans_split2({EquirectPoint::make(0.0, 90.0)}), std::invalid_argument);
+}
+
+TEST(KMeansTest, KEqualsNPinsEachPoint) {
+  const auto points = blob(50.0, 90.0, 30.0, 6, 77);
+  util::Rng rng(78);
+  const auto result = kmeans(points, {}, points.size(), rng);
+  // With k = n every point can claim its own centroid: zero inertia.
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+// --------------------------------------------------------------- Clusterer
+
+TEST(ClustererTest, MergesDenseBlobSplitsFarOnes) {
+  auto points = blob(60.0, 80.0, 4.0, 12, 11);
+  const auto other = blob(250.0, 100.0, 4.0, 12, 12);
+  points.insert(points.end(), other.begin(), other.end());
+  const ViewClusterer clusterer;
+  const auto clusters = clusterer.cluster(points);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].size(), 12u);
+  EXPECT_EQ(clusters[1].size(), 12u);
+}
+
+TEST(ClustererTest, AllPointsAssignedExactlyOnce) {
+  auto points = blob(60.0, 80.0, 10.0, 25, 13);
+  const auto stragglers = blob(200.0, 60.0, 40.0, 15, 14);
+  points.insert(points.end(), stragglers.begin(), stragglers.end());
+  const ViewClusterer clusterer;
+  const auto clusters = clusterer.cluster(points);
+  std::set<std::size_t> seen;
+  for (const auto& cluster : clusters) {
+    for (std::size_t idx : cluster) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate assignment " << idx;
+    }
+  }
+  EXPECT_EQ(seen.size(), points.size());
+}
+
+TEST(ClustererTest, DiameterCapEnforcedRecursively) {
+  // A long chain of delta-neighbours would grow one huge cluster (the Fig. 6
+  // failure mode); the sigma cap must split it so every final cluster is
+  // bounded.
+  std::vector<EquirectPoint> chain;
+  for (int i = 0; i < 30; ++i)
+    chain.push_back(EquirectPoint::make(40.0 + 8.0 * i, 90.0));  // spacing < delta
+  ClustererConfig config;
+  config.delta = 11.25;
+  config.sigma = 45.0;
+  const ViewClusterer clusterer(config);
+  const auto clusters = clusterer.cluster(chain);
+  EXPECT_GT(clusters.size(), 1u);
+  for (const auto& cluster : clusters) {
+    EXPECT_LE(ViewClusterer::diameter(chain, cluster), config.sigma + 1e-9);
+  }
+}
+
+TEST(ClustererTest, LiteralSingleSplitModeMatchesPseudocode) {
+  std::vector<EquirectPoint> chain;
+  for (int i = 0; i < 30; ++i)
+    chain.push_back(EquirectPoint::make(40.0 + 8.0 * i, 90.0));
+  ClustererConfig config;
+  config.recursive_split = false;
+  const ViewClusterer clusterer(config);
+  const auto clusters = clusterer.cluster(chain);
+  // One BFS cluster split exactly once.
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(ClustererTest, SeamStraddlingBlobStaysTogether) {
+  const auto points = blob(358.0, 90.0, 5.0, 14, 15);
+  const ViewClusterer clusterer;
+  const auto clusters = clusterer.cluster(points);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].size(), 14u);
+}
+
+TEST(ClustererTest, SingletonsRemainSingletons) {
+  const std::vector<EquirectPoint> sparse = {EquirectPoint::make(0.0, 30.0),
+                                             EquirectPoint::make(120.0, 90.0),
+                                             EquirectPoint::make(240.0, 150.0)};
+  const ViewClusterer clusterer;
+  const auto clusters = clusterer.cluster(sparse);
+  EXPECT_EQ(clusters.size(), 3u);
+}
+
+TEST(ClustererTest, EmptyInputGivesNoClusters) {
+  const ViewClusterer clusterer;
+  EXPECT_TRUE(clusterer.cluster({}).empty());
+}
+
+TEST(ClustererTest, ConfigValidation) {
+  ClustererConfig bad;
+  bad.delta = 50.0;
+  bad.sigma = 45.0;
+  EXPECT_THROW(ViewClusterer{bad}, std::invalid_argument);
+  bad = {};
+  bad.delta = 0.0;
+  EXPECT_THROW(ViewClusterer{bad}, std::invalid_argument);
+}
+
+// ------------------------------------------------------------ PtileBuilder
+
+TEST(PtileBuilderTest, PopularClusterBecomesPtile) {
+  const PtileBuilder builder;
+  const auto centers = blob(120.0, 90.0, 6.0, 12, 21);
+  const auto result = builder.build(centers);
+  ASSERT_EQ(result.ptiles.size(), 1u);
+  EXPECT_EQ(result.ptiles[0].users.size(), 12u);
+  EXPECT_TRUE(result.uncovered_users.empty());
+  // The Ptile footprint covers (nearly all of) every member's viewport —
+  // boundary tiles grazed by less than the overlap threshold are trimmed,
+  // exactly like the client's own FoV-tile rule.
+  for (const auto& center : centers) {
+    const Viewport vp(center);
+    EXPECT_GE(result.ptiles[0].area.coverage_of(vp.area()), 0.85);
+  }
+  // With trimming disabled the cover is exact.
+  PtileBuildConfig untrimmed;
+  untrimmed.tile_overlap_threshold = 0.0;
+  const PtileBuilder full_builder(untrimmed);
+  const auto full = full_builder.build(centers);
+  ASSERT_EQ(full.ptiles.size(), 1u);
+  for (const auto& center : centers) {
+    const Viewport vp(center);
+    EXPECT_GE(full.ptiles[0].area.coverage_of(vp.area()), 1.0 - 1e-9);
+  }
+}
+
+TEST(PtileBuilderTest, MinUserRuleFiltersSmallClusters) {
+  // 4 users < min_users (5): no Ptile, everyone uncovered.
+  const PtileBuilder builder;
+  const auto centers = blob(120.0, 90.0, 4.0, 4, 22);
+  const auto result = builder.build(centers);
+  EXPECT_TRUE(result.ptiles.empty());
+  EXPECT_EQ(result.uncovered_users.size(), 4u);
+}
+
+TEST(PtileBuilderTest, PtilesSortedByPopularity) {
+  auto centers = blob(60.0, 90.0, 4.0, 20, 23);
+  const auto minor = blob(250.0, 90.0, 4.0, 7, 24);
+  centers.insert(centers.end(), minor.begin(), minor.end());
+  const PtileBuilder builder;
+  const auto result = builder.build(centers);
+  ASSERT_EQ(result.ptiles.size(), 2u);
+  EXPECT_GE(result.ptiles[0].users.size(), result.ptiles[1].users.size());
+  EXPECT_EQ(result.ptiles[0].users.size(), 20u);
+}
+
+TEST(PtileBuilderTest, PtileIsGridAligned) {
+  const PtileBuilder builder;
+  const auto centers = blob(100.0, 95.0, 3.0, 8, 25);
+  const auto result = builder.build(centers);
+  ASSERT_EQ(result.ptiles.size(), 1u);
+  const auto& ptile = result.ptiles[0];
+  // Footprint area equals the tile-rect area.
+  EXPECT_NEAR(ptile.area.area_deg2(),
+              ptile.rect.tile_count() * 45.0 * 45.0, 1e-6);
+}
+
+TEST(PtileBuilderTest, CoveringQueryFindsPtile) {
+  const PtileBuilder builder;
+  const auto centers = blob(120.0, 95.0, 3.0, 10, 26);
+  const auto result = builder.build(centers);
+  ASSERT_FALSE(result.ptiles.empty());
+  EXPECT_NE(result.covering(Viewport(EquirectPoint::make(120.0, 95.0))), nullptr);
+  EXPECT_EQ(result.covering(Viewport(EquirectPoint::make(300.0, 95.0))), nullptr);
+}
+
+TEST(PtileBuilderTest, BackgroundBlocksTileTheComplement) {
+  const PtileBuilder builder;
+  const auto centers = blob(120.0, 95.0, 3.0, 10, 27);
+  const auto result = builder.build(centers);
+  ASSERT_FALSE(result.ptiles.empty());
+  const auto blocks = builder.background_block_areas(result.ptiles[0]);
+  EXPECT_GE(blocks.size(), 1u);
+  EXPECT_LE(blocks.size(), 3u);
+  double total = result.ptiles[0].area.area_fraction();
+  for (double b : blocks) {
+    EXPECT_GT(b, 0.0);
+    total += b;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PtileBuilderTest, FullWidthPtileHasNoRingBlock) {
+  // A cluster spanning all longitudes: the Ptile covers a full band; only
+  // the strips above/below remain.
+  PtileBuildConfig config;
+  config.min_users = 2;
+  config.clustering.sigma = 360.0;
+  config.clustering.delta = 90.0;
+  const PtileBuilder builder(config);
+  std::vector<EquirectPoint> centers;
+  for (int i = 0; i < 8; ++i) centers.push_back(EquirectPoint::make(i * 45.0, 90.0));
+  const auto result = builder.build(centers);
+  ASSERT_EQ(result.ptiles.size(), 1u);
+  const auto blocks = builder.background_block_areas(result.ptiles[0]);
+  double total = result.ptiles[0].area.area_fraction();
+  for (double b : blocks) total += b;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_LE(blocks.size(), 2u);
+}
+
+// ----------------------------------------------------------------- Ftile
+
+TEST(FtileLayoutTest, PartitionsAllBlocksIntoTenTiles) {
+  const auto centers = blob(120.0, 90.0, 10.0, 30, 31);
+  const FtileLayout layout(centers, FtileLayoutConfig{});
+  EXPECT_LE(layout.tile_count(), 10u);
+  EXPECT_GE(layout.tile_count(), 2u);
+  double total = 0.0;
+  std::size_t blocks = 0;
+  for (std::size_t t = 0; t < layout.tile_count(); ++t) {
+    total += layout.tile_areas()[t];
+    blocks += layout.tile_blocks()[t].size();
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(blocks, 450u);
+}
+
+TEST(FtileLayoutTest, ViewportOverlapsFewTiles) {
+  // View-aligned tiling: the FoV of the popular region intersects a small
+  // subset of the ten tiles.
+  const auto centers = blob(120.0, 90.0, 8.0, 30, 32);
+  const FtileLayout layout(centers, FtileLayoutConfig{});
+  const auto selected = layout.tiles_overlapping(Viewport(EquirectPoint::make(120.0, 90.0)));
+  EXPECT_GE(selected.size(), 1u);
+  EXPECT_LT(selected.size(), layout.tile_count());
+}
+
+TEST(FtileLayoutTest, SelectedTilesCoverTheViewport) {
+  const auto centers = blob(200.0, 100.0, 8.0, 30, 33);
+  const FtileLayout layout(centers, FtileLayoutConfig{});
+  const Viewport vp(EquirectPoint::make(200.0, 100.0));
+  // Default selection skips tiles the FoV merely grazes, so coverage is
+  // high but can fall short of exact; a zero threshold covers exactly.
+  const auto selected = layout.tiles_overlapping(vp);
+  EXPECT_GE(layout.coverage(vp, selected), 0.85);
+  const auto all_touched = layout.tiles_overlapping(vp, 0.0);
+  EXPECT_NEAR(layout.coverage(vp, all_touched), 1.0, 1e-9);
+  EXPECT_LT(layout.coverage(vp, {}), 0.01);
+}
+
+TEST(FtileLayoutTest, DeterministicForSeed) {
+  const auto centers = blob(120.0, 90.0, 8.0, 30, 34);
+  const FtileLayout a(centers, FtileLayoutConfig{});
+  const FtileLayout b(centers, FtileLayoutConfig{});
+  ASSERT_EQ(a.tile_count(), b.tile_count());
+  EXPECT_EQ(a.tile_areas(), b.tile_areas());
+}
+
+// ----------------------------------------------------------------- Heatmap
+
+TEST(ViewHeatmapTest, CentersAndTotals) {
+  ViewHeatmap heatmap(18, 36);  // 10-degree cells
+  heatmap.add_center(EquirectPoint::make(95.0, 95.0));
+  heatmap.add_center(EquirectPoint::make(95.0, 95.0));
+  heatmap.add_center(EquirectPoint::make(275.0, 35.0));
+  EXPECT_DOUBLE_EQ(heatmap.total(), 3.0);
+  EXPECT_DOUBLE_EQ(heatmap.max_value(), 2.0);
+  EXPECT_DOUBLE_EQ(heatmap.at(9, 9), 2.0);
+  EXPECT_DOUBLE_EQ(heatmap.at(3, 27), 1.0);
+  EXPECT_THROW(heatmap.at(18, 0), std::invalid_argument);
+}
+
+TEST(ViewHeatmapTest, ViewportAddsFovSizedMass) {
+  ViewHeatmap heatmap(18, 36);
+  heatmap.add_viewport(Viewport(EquirectPoint::make(180.0, 90.0)));
+  // A 100x100 viewport covers ~100/10 x 100/10 = ~100 cells of 10 degrees.
+  EXPECT_NEAR(heatmap.total(), 100.0, 15.0);
+  EXPECT_DOUBLE_EQ(heatmap.max_value(), 1.0);
+}
+
+TEST(ViewHeatmapTest, MassInCapturesAttention) {
+  ViewHeatmap heatmap(18, 36);
+  for (int i = 0; i < 5; ++i)
+    heatmap.add_center(EquirectPoint::make(100.0 + i, 90.0));
+  heatmap.add_center(EquirectPoint::make(300.0, 90.0));
+  const auto hot =
+      geometry::EquirectRect::make(geometry::LonInterval::make(90.0, 30.0), 70.0, 110.0);
+  EXPECT_NEAR(heatmap.mass_in(hot), 5.0 / 6.0, 1e-9);
+}
+
+TEST(ViewHeatmapTest, RenderShapeAndOverlay) {
+  ViewHeatmap heatmap(6, 12);
+  heatmap.add_center(EquirectPoint::make(95.0, 95.0));
+  Ptile ptile;
+  ptile.area = geometry::EquirectRect::make(geometry::LonInterval::make(60.0, 90.0),
+                                            60.0, 120.0);
+  const std::string art = heatmap.render({ptile});
+  // 6 lines of 12 characters.
+  EXPECT_EQ(art.size(), 6u * 13u);
+  EXPECT_NE(art.find('['), std::string::npos);
+  EXPECT_NE(art.find(']'), std::string::npos);
+  EXPECT_NE(art.find('@'), std::string::npos);  // the hot cell
+}
+
+TEST(FtileLayoutTest, CoverageRejectsBadTileId) {
+  const auto centers = blob(120.0, 90.0, 8.0, 10, 35);
+  const FtileLayout layout(centers, FtileLayoutConfig{});
+  EXPECT_THROW(layout.coverage(Viewport(EquirectPoint::make(0.0, 90.0)), {999}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ps360::ptile

@@ -1,0 +1,363 @@
+// Tests for the trace module: the video catalog (Table III), head traces
+// and their synthesizer (including the Fig. 5 switching-speed calibration),
+// and network traces (including the paper's trace-1/trace-2 statistics).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "trace/dataset.h"
+#include "trace/head_synth.h"
+#include "trace/head_trace.h"
+#include "trace/network_trace.h"
+#include "trace/video_catalog.h"
+#include "util/stats.h"
+
+namespace ps360::trace {
+namespace {
+
+// ----------------------------------------------------------- VideoCatalog
+
+TEST(VideoCatalogTest, TableThreeContents) {
+  const auto& videos = test_videos();
+  ASSERT_EQ(videos.size(), 8u);
+  EXPECT_EQ(videos[0].name, "Basketball Match");
+  EXPECT_NEAR(videos[0].duration_s, 361.0, 1e-9);  // 6:01
+  EXPECT_EQ(videos[7].name, "Freestyle Skiing");
+  EXPECT_NEAR(videos[7].duration_s, 201.0, 1e-9);  // 3:21
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(videos[i].id, i + 1);
+}
+
+TEST(VideoCatalogTest, FocusSplitMatchesPaper) {
+  // Users were instructed to focus for videos 1-4 and left free for 5-8.
+  for (const auto& v : test_videos()) {
+    EXPECT_EQ(v.focused, v.id <= 4) << "video " << v.id;
+  }
+}
+
+TEST(VideoCatalogTest, ExtendedCatalogHasEighteenVideos) {
+  EXPECT_EQ(extended_videos().size(), 18u);
+  // The first 8 are the Table III test videos.
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(extended_videos()[i].id, test_videos()[i].id);
+}
+
+TEST(VideoCatalogTest, LookupByIdWorksAndThrows) {
+  EXPECT_EQ(video_by_id(8).name, "Freestyle Skiing");
+  EXPECT_EQ(video_by_id(15).name, "Art Museum");
+  EXPECT_THROW(video_by_id(99), std::invalid_argument);
+}
+
+TEST(VideoCatalogTest, SiTiCoverAWideRange) {
+  // Fig. 4(a): the dataset spans a wide range of genres.
+  double si_min = 1e9, si_max = -1e9, ti_min = 1e9, ti_max = -1e9;
+  for (const auto& v : extended_videos()) {
+    si_min = std::min(si_min, v.si_base);
+    si_max = std::max(si_max, v.si_base);
+    ti_min = std::min(ti_min, v.ti_base);
+    ti_max = std::max(ti_max, v.ti_base);
+  }
+  EXPECT_LT(si_min, 35.0);
+  EXPECT_GT(si_max, 70.0);
+  EXPECT_LT(ti_min, 10.0);
+  EXPECT_GT(ti_max, 25.0);
+}
+
+// -------------------------------------------------------------- HeadTrace
+
+std::vector<HeadSample> ramp_samples() {
+  // 0..10 s, x advancing 10 deg/s through the wrap, y fixed.
+  std::vector<HeadSample> samples;
+  for (int i = 0; i <= 100; ++i) {
+    const double t = i * 0.1;
+    samples.push_back(
+        {t, geometry::EquirectPoint::make(350.0 + 10.0 * t, 90.0)});
+  }
+  return samples;
+}
+
+TEST(HeadTraceTest, ValidatesMonotoneTimestamps) {
+  std::vector<HeadSample> bad = {{0.0, {}}, {0.0, {}}};
+  EXPECT_THROW(HeadTrace(1, 0, bad), std::invalid_argument);
+  EXPECT_THROW(HeadTrace(1, 0, {}), std::invalid_argument);
+}
+
+TEST(HeadTraceTest, CenterAtInterpolatesAcrossWrap) {
+  const HeadTrace trace(1, 0, ramp_samples());
+  // At t = 1.05 the center is at 350 + 10.5 = 0.5 degrees (wrapped).
+  EXPECT_NEAR(trace.center_at(1.05).x, 0.5, 1e-9);
+  // Clamping outside the range.
+  EXPECT_NEAR(trace.center_at(-5.0).x, 350.0, 1e-9);
+  EXPECT_NEAR(trace.center_at(99.0).x, geometry::wrap360(350.0 + 100.0), 1e-9);
+}
+
+TEST(HeadTraceTest, SwitchingSpeedMatchesRamp) {
+  const HeadTrace trace(1, 0, ramp_samples());
+  // Constant 10 deg/s at the equator.
+  EXPECT_NEAR(trace.switching_speed(2.0, 8.0), 10.0, 0.1);
+  const auto series = trace.switching_speed_series();
+  ASSERT_EQ(series.size(), 100u);
+  for (double s : series) EXPECT_NEAR(s, 10.0, 0.2);
+}
+
+TEST(HeadTraceTest, MeanCenterHandlesWrap) {
+  // Samples at 355 and 5 degrees: the circular mean is 0, not 180.
+  std::vector<HeadSample> samples = {
+      {0.0, geometry::EquirectPoint::make(355.0, 90.0)},
+      {1.0, geometry::EquirectPoint::make(5.0, 90.0)}};
+  const HeadTrace trace(1, 0, std::move(samples));
+  const auto mean = trace.mean_center(0.0, 1.0);
+  EXPECT_LT(geometry::circular_distance(mean.x, 0.0), 1.0);
+}
+
+TEST(HeadTraceTest, CsvRoundTrip) {
+  const HeadTrace trace(3, 7, ramp_samples());
+  const auto path = std::filesystem::temp_directory_path() / "ps360_head.csv";
+  save_head_trace(path, trace);
+  const HeadTrace loaded = load_head_trace(path, 3, 7);
+  ASSERT_EQ(loaded.samples().size(), trace.samples().size());
+  EXPECT_NEAR(loaded.samples()[50].center.x, trace.samples()[50].center.x, 1e-9);
+  EXPECT_EQ(loaded.video_id(), 3);
+  std::filesystem::remove(path);
+}
+
+// -------------------------------------------------------- HeadSynthesizer
+
+TEST(HeadSynthTest, DeterministicPerSeedAndUser) {
+  const HeadTraceSynthesizer synth;
+  const auto& video = test_videos()[1];
+  const HeadTrace a = synth.synthesize(video, 3);
+  const HeadTrace b = synth.synthesize(video, 3);
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  EXPECT_DOUBLE_EQ(a.samples()[1000].center.x, b.samples()[1000].center.x);
+  const HeadTrace c = synth.synthesize(video, 4);
+  EXPECT_NE(a.samples()[1000].center.x, c.samples()[1000].center.x);
+}
+
+TEST(HeadSynthTest, CoversVideoDurationAtSampleRate) {
+  const HeadTraceSynthesizer synth;
+  const auto& video = test_videos()[5];  // 164 s
+  const HeadTrace trace = synth.synthesize(video, 0);
+  EXPECT_GE(trace.duration(), video.duration_s - 0.1);
+  // 50 Hz sampling.
+  const double dt = trace.samples()[1].t - trace.samples()[0].t;
+  EXPECT_NEAR(dt, 0.02, 1e-9);
+}
+
+TEST(HeadSynthTest, SwitchingSpeedDistributionMatchesFig5) {
+  // Fig. 5 calibration: users exceed 10 deg/s for >30% of samples across
+  // the dataset (the paper reports "more than 30%").
+  const HeadTraceSynthesizer synth;
+  std::vector<double> speeds;
+  for (const auto& video : extended_videos()) {
+    for (int u = 0; u < 3; ++u) {
+      const auto series = synth.synthesize(video, u).switching_speed_series();
+      speeds.insert(speeds.end(), series.begin(), series.end());
+    }
+  }
+  const double frac10 = util::fraction_above(speeds, 10.0);
+  EXPECT_GT(frac10, 0.30);
+  EXPECT_LT(frac10, 0.60);  // not implausibly frantic
+  // A heavy but not absurd tail.
+  EXPECT_GT(util::fraction_above(speeds, 30.0), 0.01);
+  EXPECT_LT(util::fraction_above(speeds, 100.0), 0.02);
+}
+
+TEST(HeadSynthTest, FocusedUsersClusterTighterThanFreeUsers) {
+  // The premise of Ptile construction: viewers of a focused video look at
+  // nearly the same place.
+  const HeadTraceSynthesizer synth;
+  auto spread = [&](const VideoInfo& video) {
+    const auto traces = synth.synthesize_all(video, 20);
+    double total = 0.0;
+    int count = 0;
+    for (double t : {30.0, 60.0, 90.0}) {
+      for (std::size_t i = 0; i < traces.size(); ++i) {
+        for (std::size_t j = i + 1; j < traces.size(); ++j) {
+          total += geometry::wrapped_distance(traces[i].center_at(t),
+                                              traces[j].center_at(t));
+          ++count;
+        }
+      }
+    }
+    return total / count;
+  };
+  EXPECT_LT(spread(test_videos()[2]), spread(test_videos()[6]));
+}
+
+TEST(HeadSynthTest, SamplesStayOnTheSphere) {
+  const HeadTraceSynthesizer synth;
+  const auto trace = synth.synthesize(test_videos()[7], 11);
+  for (const auto& s : trace.samples()) {
+    EXPECT_GE(s.center.x, 0.0);
+    EXPECT_LT(s.center.x, 360.0);
+    EXPECT_GE(s.center.y, 0.0);
+    EXPECT_LE(s.center.y, 180.0);
+  }
+}
+
+TEST(HeadSynthTest, AttractorPathsAreSmoothAndDeterministic) {
+  const HeadTraceSynthesizer synth;
+  const auto paths = synth.attractors(test_videos()[0]);
+  ASSERT_EQ(paths.size(), 1u);
+  // The attractor's own speed stays within ~2.5x the genre speed (sinusoid
+  // peak + drift).
+  const auto& path = paths[0];
+  for (double t = 0.0; t < 100.0; t += 0.5) {
+    const double d = geometry::wrapped_distance(path.at(t), path.at(t + 0.1));
+    EXPECT_LT(d / 0.1, 2.5 * test_videos()[0].attractor_speed + 5.0);
+  }
+  EXPECT_DOUBLE_EQ(path.at(12.3).x, synth.attractors(test_videos()[0])[0].at(12.3).x);
+}
+
+// ------------------------------------------------------------ NetworkTrace
+
+TEST(NetworkTraceTest, ValidatesInput) {
+  EXPECT_THROW(NetworkTrace({}), std::invalid_argument);
+  EXPECT_THROW(NetworkTrace({{0.0, 1.0}, {0.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(NetworkTrace({{0.0, 0.0}}), std::invalid_argument);
+}
+
+TEST(NetworkTraceTest, ThroughputAtPiecewiseConstant) {
+  const NetworkTrace trace({{0.0, 4.0}, {1.0, 8.0}, {2.0, 2.0}});
+  EXPECT_DOUBLE_EQ(trace.throughput_at(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(trace.throughput_at(1.0), 8.0);
+  EXPECT_DOUBLE_EQ(trace.throughput_at(1.999), 8.0);
+}
+
+TEST(NetworkTraceTest, BytesInIntegratesRate) {
+  const NetworkTrace trace({{0.0, 4.0}, {1.0, 8.0}, {2.0, 2.0}});
+  EXPECT_NEAR(trace.bytes_in(0.0, 0.5), 4e6 / 8.0 * 0.5, 1.0);
+  // Across the boundary: 1 s at 4 + 0.5 s at 8 Mbps.
+  EXPECT_NEAR(trace.bytes_in(0.0, 1.5), 4e6 / 8.0 + 8e6 / 8.0 * 0.5, 1.0);
+}
+
+TEST(NetworkTraceTest, TimeToDownloadInvertsBytesIn) {
+  const NetworkTrace trace({{0.0, 4.0}, {1.0, 8.0}, {2.0, 2.0}});
+  const double bytes = trace.bytes_in(0.3, 1.7);
+  EXPECT_NEAR(trace.time_to_download(bytes, 0.3), 1.4, 1e-6);
+  EXPECT_DOUBLE_EQ(trace.time_to_download(0.0, 0.3), 0.0);
+}
+
+TEST(NetworkTraceTest, ScaledMultipliesRates) {
+  const NetworkTrace trace({{0.0, 4.0}, {1.0, 8.0}});
+  const NetworkTrace doubled = trace.scaled(2.0);
+  EXPECT_DOUBLE_EQ(doubled.throughput_at(0.5), 8.0);
+  EXPECT_DOUBLE_EQ(doubled.throughput_at(1.5), 16.0);
+}
+
+TEST(NetworkTraceTest, SynthesizedTraceMatchesPaperStatistics) {
+  // Trace 2: average 3.9 Mbps, varying between 2.3 and 8.4 Mbps.
+  const auto [trace1, trace2] = make_paper_traces(7, 600.0);
+  const auto rates = trace2.rates_mbps();
+  EXPECT_NEAR(util::mean(rates), 3.9, 0.5);
+  EXPECT_GE(*std::min_element(rates.begin(), rates.end()), 2.3 - 1e-9);
+  EXPECT_LE(*std::max_element(rates.begin(), rates.end()), 8.4 + 1e-9);
+  // Genuine variability, not a constant.
+  EXPECT_GT(util::stddev(rates), 0.4);
+  // Trace 1 is exactly 2x trace 2.
+  const auto rates1 = trace1.rates_mbps();
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rates1[i], rates[i] * 2.0);
+  }
+}
+
+TEST(NetworkTraceTest, SynthesizerIsDeterministic) {
+  NetworkSynthConfig config;
+  config.seed = 99;
+  const auto a = synthesize_network_trace(config);
+  const auto b = synthesize_network_trace(config);
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  EXPECT_DOUBLE_EQ(a.samples()[100].mbps, b.samples()[100].mbps);
+}
+
+TEST(NetworkTraceTest, WrapsForLongSessions) {
+  const NetworkTrace trace({{0.0, 4.0}, {1.0, 8.0}, {2.0, 2.0}});
+  // Beyond the end the trace loops; downloading is still possible.
+  const double d = trace.time_to_download(1e6, 100.0);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 10.0);
+}
+
+TEST(NetworkTraceTest, CsvRoundTrip) {
+  const NetworkTrace trace({{0.0, 4.0}, {1.0, 8.0}});
+  const auto path = std::filesystem::temp_directory_path() / "ps360_net.csv";
+  save_network_trace(path, trace);
+  const NetworkTrace loaded = load_network_trace(path);
+  ASSERT_EQ(loaded.samples().size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.samples()[1].mbps, 8.0);
+  std::filesystem::remove(path);
+}
+
+TEST(NetworkTraceTest, MeanMbpsMatchesIntegral) {
+  const NetworkTrace trace({{0.0, 4.0}, {1.0, 8.0}, {2.0, 2.0}});
+  EXPECT_NEAR(trace.mean_mbps(0.0, 2.0), 6.0, 1e-9);
+  EXPECT_NEAR(trace.mean_mbps(0.0, 3.0), (4.0 + 8.0 + 2.0) / 3.0, 1e-9);
+  EXPECT_THROW(trace.mean_mbps(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(HeadSynthTest, AttractorPopularityIsSkewed) {
+  // The first attractor carries the crowd (why one Ptile usually suffices).
+  const HeadTraceSynthesizer synth;
+  const auto paths = synth.attractors(test_videos()[7]);  // 3 attractors
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_GT(paths[0].weight(), paths[1].weight());
+  EXPECT_GT(paths[1].weight(), paths[2].weight());
+}
+
+TEST(HeadSynthTest, FocusedUsersRarelyLeaveTheMainAttractor) {
+  const HeadTraceSynthesizer synth;
+  const auto& video = test_videos()[2];  // Festival Gala, focused
+  const auto paths = synth.attractors(video);
+  const auto trace = synth.synthesize(video, 5);
+  std::size_t near = 0, total = 0;
+  for (double t = 5.0; t < 120.0; t += 1.0) {
+    const double d =
+        geometry::wrapped_distance(trace.center_at(t), paths[0].at(t));
+    ++total;
+    if (d < 40.0) ++near;
+  }
+  EXPECT_GT(static_cast<double>(near) / static_cast<double>(total), 0.8);
+}
+
+// ----------------------------------------------------------------- Dataset
+
+TEST(DatasetTest, FilenamesAreStable) {
+  EXPECT_EQ(dataset_trace_filename(3, 17), "video3_user17.csv");
+}
+
+TEST(DatasetTest, ExportLoadRoundTrip) {
+  const auto root = std::filesystem::temp_directory_path() / "ps360_dataset_test";
+  std::filesystem::remove_all(root);
+
+  // Export a few synthetic users of a shortened video.
+  VideoInfo video = test_videos()[5];
+  video.duration_s = 10.0;
+  const HeadTraceSynthesizer synth;
+  const auto traces = synth.synthesize_all(video, 3);
+  export_video_traces(root, traces);
+
+  EXPECT_EQ(count_video_users(root, video.id), 3u);
+  const auto loaded = load_video_traces(root, video.id);
+  ASSERT_EQ(loaded.size(), 3u);
+  for (std::size_t u = 0; u < 3; ++u) {
+    ASSERT_EQ(loaded[u].samples().size(), traces[u].samples().size());
+    EXPECT_EQ(loaded[u].user_id(), static_cast<int>(u));
+    const auto& a = loaded[u].samples()[100];
+    const auto& b = traces[u].samples()[100];
+    EXPECT_NEAR(a.center.x, b.center.x, 1e-9);
+    EXPECT_NEAR(a.t, b.t, 1e-12);
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(DatasetTest, MissingVideoThrows) {
+  const auto root = std::filesystem::temp_directory_path() / "ps360_dataset_empty";
+  std::filesystem::create_directories(root);
+  EXPECT_EQ(count_video_users(root, 1), 0u);
+  EXPECT_THROW(load_video_traces(root, 1), std::invalid_argument);
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace ps360::trace

@@ -1,0 +1,427 @@
+// Tests for the util module: RNG determinism and distributions, linear
+// algebra, statistics, CSV round-trips, and string/table formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace ps360::util {
+namespace {
+
+// --------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(13);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(7)];
+  for (int c : counts) EXPECT_NEAR(c, n / 7, n / 7 * 0.1);
+}
+
+TEST(RngTest, UniformIndexRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParameters) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, NormalRejectsNegativeSigma) {
+  Rng rng(1);
+  EXPECT_THROW(rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(RngTest, LognormalMedianIsMedian) {
+  Rng rng(23);
+  std::vector<double> values;
+  for (int i = 0; i < 50001; ++i) values.push_back(rng.lognormal_median(3.0, 0.5));
+  EXPECT_NEAR(median(values), 3.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeProbabilities) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(37);
+  const auto p = rng.permutation(50);
+  std::vector<bool> seen(50, false);
+  for (std::size_t v : p) {
+    ASSERT_LT(v, 50u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(RngTest, DeriveSeedIsStableAndSensitive) {
+  EXPECT_EQ(derive_seed(1, 2, 3), derive_seed(1, 2, 3));
+  EXPECT_NE(derive_seed(1, 2, 3), derive_seed(1, 3, 2));
+  EXPECT_NE(derive_seed(1, 2, 3), derive_seed(2, 2, 3));
+}
+
+// ------------------------------------------------------------------ Matrix
+
+TEST(MatrixTest, ConstructAndIndex) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(MatrixTest, OutOfBoundsThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), std::invalid_argument);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_NEAR(t.transposed().max_abs_diff(m), 0.0, 1e-15);
+}
+
+TEST(MatrixTest, Product) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, ProductDimensionMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const auto v = a * std::vector<double>{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(MatrixTest, CholeskyReconstructs) {
+  Matrix a{{4.0, 2.0, 0.6}, {2.0, 5.0, 1.5}, {0.6, 1.5, 3.0}};
+  const Matrix l = cholesky(a);
+  EXPECT_NEAR((l * l.transposed()).max_abs_diff(a), 0.0, 1e-12);
+}
+
+TEST(MatrixTest, CholeskyRejectsIndefinite) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky(a), std::invalid_argument);
+}
+
+TEST(MatrixTest, CholeskySolveRecoversKnownSolution) {
+  Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  const std::vector<double> x_true = {1.0, -2.0};
+  const auto b = a * x_true;
+  const auto x = cholesky_solve(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], -2.0, 1e-12);
+}
+
+TEST(MatrixTest, RidgeSolveZeroLambdaIsLeastSquares) {
+  // Overdetermined consistent system: exact recovery.
+  Matrix x{{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  const std::vector<double> y = {2.0, 3.0, 5.0};
+  const auto w = ridge_solve(x, y, 0.0);
+  EXPECT_NEAR(w[0], 2.0, 1e-10);
+  EXPECT_NEAR(w[1], 3.0, 1e-10);
+}
+
+TEST(MatrixTest, RidgePerCoefficientPenalties) {
+  // Unpenalised intercept, penalised slope: the intercept recovers the mean
+  // while the slope shrinks.
+  Matrix x{{1.0, -1.0}, {1.0, 0.0}, {1.0, 1.0}};
+  const std::vector<double> y = {8.0, 10.0, 12.0};  // intercept 10, slope 2
+  const auto exact = ridge_solve(x, y, {0.0, 0.0});
+  EXPECT_NEAR(exact[0], 10.0, 1e-10);
+  EXPECT_NEAR(exact[1], 2.0, 1e-10);
+  const auto shrunk = ridge_solve(x, y, {0.0, 10.0});
+  EXPECT_NEAR(shrunk[0], 10.0, 1e-10);  // intercept untouched
+  EXPECT_LT(shrunk[1], 1.0);            // slope heavily shrunk
+  EXPECT_THROW(ridge_solve(x, y, std::vector<double>{0.0}), std::invalid_argument);
+  EXPECT_THROW(ridge_solve(x, y, std::vector<double>{0.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(MatrixTest, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(MatrixTest, ScalarMultiplyAndAddSubtract) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix doubled = a * 2.0;
+  EXPECT_DOUBLE_EQ(doubled(1, 1), 8.0);
+  const Matrix sum = a + a;
+  EXPECT_NEAR(sum.max_abs_diff(doubled), 0.0, 1e-15);
+  const Matrix zero = a - a;
+  EXPECT_DOUBLE_EQ(zero.frobenius_norm(), 0.0);
+  Matrix wrong(3, 2);
+  EXPECT_THROW(a + wrong, std::invalid_argument);
+}
+
+TEST(MatrixTest, IdentityBehaves) {
+  const Matrix eye = Matrix::identity(3);
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}};
+  EXPECT_NEAR((eye * a).max_abs_diff(a), 0.0, 1e-15);
+}
+
+TEST(MatrixTest, RidgeShrinksTowardZero) {
+  Matrix x{{1.0}, {1.0}, {1.0}};
+  const std::vector<double> y = {3.0, 3.0, 3.0};
+  const auto w0 = ridge_solve(x, y, 0.0);
+  const auto w1 = ridge_solve(x, y, 10.0);
+  EXPECT_NEAR(w0[0], 3.0, 1e-10);
+  EXPECT_LT(w1[0], w0[0]);
+  EXPECT_GT(w1[0], 0.0);
+}
+
+// ------------------------------------------------------------------- Stats
+
+TEST(StatsTest, MeanAndVariance) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+}
+
+TEST(StatsTest, MeanOfEmptyThrows) {
+  EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(StatsTest, HarmonicMeanDampsSpikes) {
+  const std::vector<double> v = {1.0, 1.0, 100.0};
+  EXPECT_LT(harmonic_mean(v), mean(v));
+  EXPECT_NEAR(harmonic_mean(v), 3.0 / (1.0 + 1.0 + 0.01), 1e-12);
+}
+
+TEST(StatsTest, HarmonicMeanRejectsNonPositive) {
+  EXPECT_THROW(harmonic_mean({1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson_correlation(a, b), 1.0, 1e-12);
+  const std::vector<double> c = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson_correlation(a, c), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantSeriesThrows) {
+  EXPECT_THROW(pearson_correlation({1.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(StatsTest, RmseZeroForIdentical) {
+  const std::vector<double> a = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(rmse(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(rmse({0.0, 0.0}, {3.0, 4.0}), std::sqrt(12.5));
+}
+
+TEST(StatsTest, FractionAboveThreshold) {
+  EXPECT_DOUBLE_EQ(fraction_above({1.0, 5.0, 10.0, 20.0}, 5.0), 0.5);
+}
+
+TEST(StatsTest, EmpiricalCdfAtAndQuantile) {
+  EmpiricalCdf cdf({3.0, 1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.5);
+}
+
+TEST(StatsTest, RunningStatsMatchesBatch) {
+  RunningStats rs;
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : v) rs.add(x);
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_DOUBLE_EQ(rs.mean(), mean(v));
+  EXPECT_NEAR(rs.variance(), variance(v), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(StatsTest, RunningStatsGuardsEmpty) {
+  RunningStats rs;
+  EXPECT_THROW(rs.mean(), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- CSV
+
+TEST(CsvTest, ParseWithHeaderAndComments) {
+  const auto table = parse_csv("# comment\na,b\n1,2\n3.5,4\n", true);
+  ASSERT_EQ(table.header.size(), 2u);
+  EXPECT_EQ(table.column("b"), 1u);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.rows[1][0], 3.5);
+}
+
+TEST(CsvTest, MissingColumnThrows) {
+  const auto table = parse_csv("a,b\n1,2\n", true);
+  EXPECT_THROW(table.column("c"), std::invalid_argument);
+}
+
+TEST(CsvTest, RaggedRowThrows) {
+  EXPECT_THROW(parse_csv("a,b\n1,2\n3\n", true), std::invalid_argument);
+}
+
+TEST(CsvTest, NonNumericCellThrows) {
+  EXPECT_THROW(parse_csv("a\nfoo\n", true), std::invalid_argument);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvTable table;
+  table.header = {"t", "v"};
+  table.rows = {{0.0, 1.5}, {1.0, 2.25}};
+  const auto path = std::filesystem::temp_directory_path() / "ps360_csv_test.csv";
+  write_csv_file(path, table);
+  const auto loaded = read_csv_file(path, true);
+  ASSERT_EQ(loaded.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.rows[1][1], 2.25);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/nope.csv", true), std::runtime_error);
+}
+
+// ----------------------------------------------------------------- Strings
+
+TEST(StringsTest, StrfmtFormats) {
+  EXPECT_EQ(strfmt("%.2f mW", 241.0), "241.00 mW");
+  EXPECT_EQ(strfmt("%d/%d", 3, 9), "3/9");
+}
+
+TEST(StringsTest, TextTableAlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("name"), std::string::npos);
+  EXPECT_NE(rendered.find("alpha"), std::string::npos);
+  EXPECT_NE(rendered.find("-----"), std::string::npos);
+}
+
+TEST(StringsTest, TextTableRejectsWrongWidth) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(StringsTest, FormatHelpers) {
+  EXPECT_EQ(format_ratio(1.234), "1.234x");
+  EXPECT_EQ(format_percent(0.497), "49.7%");
+}
+
+// ------------------------------------------------------------------ Checks
+
+TEST(CheckTest, CheckThrowsInvalidArgument) {
+  EXPECT_THROW(PS360_CHECK(false), std::invalid_argument);
+  EXPECT_NO_THROW(PS360_CHECK(true));
+}
+
+TEST(CheckTest, AssertThrowsLogicError) {
+  EXPECT_THROW(PS360_ASSERT(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ps360::util
