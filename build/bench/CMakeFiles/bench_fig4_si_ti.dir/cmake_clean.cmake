@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_si_ti.dir/bench_fig4_si_ti.cpp.o"
+  "CMakeFiles/bench_fig4_si_ti.dir/bench_fig4_si_ti.cpp.o.d"
+  "bench_fig4_si_ti"
+  "bench_fig4_si_ti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_si_ti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_qoe_fit.dir/bench_table2_qoe_fit.cpp.o"
+  "CMakeFiles/bench_table2_qoe_fit.dir/bench_table2_qoe_fit.cpp.o.d"
+  "bench_table2_qoe_fit"
+  "bench_table2_qoe_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_qoe_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptile_construction.dir/ptile_construction.cpp.o"
+  "CMakeFiles/ptile_construction.dir/ptile_construction.cpp.o.d"
+  "ptile_construction"
+  "ptile_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptile_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewport_prediction.dir/viewport_prediction.cpp.o"
+  "CMakeFiles/viewport_prediction.dir/viewport_prediction.cpp.o.d"
+  "viewport_prediction"
+  "viewport_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewport_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/buffer.cpp" "src/core/CMakeFiles/ps360_core.dir/buffer.cpp.o" "gcc" "src/core/CMakeFiles/ps360_core.dir/buffer.cpp.o.d"
+  "/root/repo/src/core/mpc.cpp" "src/core/CMakeFiles/ps360_core.dir/mpc.cpp.o" "gcc" "src/core/CMakeFiles/ps360_core.dir/mpc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ps360_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ps360_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/qoe/CMakeFiles/ps360_qoe.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/ps360_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ps360_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/ps360_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

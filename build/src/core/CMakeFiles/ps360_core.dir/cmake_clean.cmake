@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps360_core.dir/buffer.cpp.o"
+  "CMakeFiles/ps360_core.dir/buffer.cpp.o.d"
+  "CMakeFiles/ps360_core.dir/mpc.cpp.o"
+  "CMakeFiles/ps360_core.dir/mpc.cpp.o.d"
+  "libps360_core.a"
+  "libps360_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps360_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

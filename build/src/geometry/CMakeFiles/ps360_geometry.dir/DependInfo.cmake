@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/angles.cpp" "src/geometry/CMakeFiles/ps360_geometry.dir/angles.cpp.o" "gcc" "src/geometry/CMakeFiles/ps360_geometry.dir/angles.cpp.o.d"
+  "/root/repo/src/geometry/tile_grid.cpp" "src/geometry/CMakeFiles/ps360_geometry.dir/tile_grid.cpp.o" "gcc" "src/geometry/CMakeFiles/ps360_geometry.dir/tile_grid.cpp.o.d"
+  "/root/repo/src/geometry/viewport.cpp" "src/geometry/CMakeFiles/ps360_geometry.dir/viewport.cpp.o" "gcc" "src/geometry/CMakeFiles/ps360_geometry.dir/viewport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ps360_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

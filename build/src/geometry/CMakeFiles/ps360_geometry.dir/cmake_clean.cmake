@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps360_geometry.dir/angles.cpp.o"
+  "CMakeFiles/ps360_geometry.dir/angles.cpp.o.d"
+  "CMakeFiles/ps360_geometry.dir/tile_grid.cpp.o"
+  "CMakeFiles/ps360_geometry.dir/tile_grid.cpp.o.d"
+  "CMakeFiles/ps360_geometry.dir/viewport.cpp.o"
+  "CMakeFiles/ps360_geometry.dir/viewport.cpp.o.d"
+  "libps360_geometry.a"
+  "libps360_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps360_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/battery.cpp" "src/power/CMakeFiles/ps360_power.dir/battery.cpp.o" "gcc" "src/power/CMakeFiles/ps360_power.dir/battery.cpp.o.d"
+  "/root/repo/src/power/decoder_model.cpp" "src/power/CMakeFiles/ps360_power.dir/decoder_model.cpp.o" "gcc" "src/power/CMakeFiles/ps360_power.dir/decoder_model.cpp.o.d"
+  "/root/repo/src/power/device_models.cpp" "src/power/CMakeFiles/ps360_power.dir/device_models.cpp.o" "gcc" "src/power/CMakeFiles/ps360_power.dir/device_models.cpp.o.d"
+  "/root/repo/src/power/energy.cpp" "src/power/CMakeFiles/ps360_power.dir/energy.cpp.o" "gcc" "src/power/CMakeFiles/ps360_power.dir/energy.cpp.o.d"
+  "/root/repo/src/power/measurement.cpp" "src/power/CMakeFiles/ps360_power.dir/measurement.cpp.o" "gcc" "src/power/CMakeFiles/ps360_power.dir/measurement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ps360_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

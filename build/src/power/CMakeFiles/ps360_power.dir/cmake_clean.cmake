@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps360_power.dir/battery.cpp.o"
+  "CMakeFiles/ps360_power.dir/battery.cpp.o.d"
+  "CMakeFiles/ps360_power.dir/decoder_model.cpp.o"
+  "CMakeFiles/ps360_power.dir/decoder_model.cpp.o.d"
+  "CMakeFiles/ps360_power.dir/device_models.cpp.o"
+  "CMakeFiles/ps360_power.dir/device_models.cpp.o.d"
+  "CMakeFiles/ps360_power.dir/energy.cpp.o"
+  "CMakeFiles/ps360_power.dir/energy.cpp.o.d"
+  "CMakeFiles/ps360_power.dir/measurement.cpp.o"
+  "CMakeFiles/ps360_power.dir/measurement.cpp.o.d"
+  "libps360_power.a"
+  "libps360_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps360_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

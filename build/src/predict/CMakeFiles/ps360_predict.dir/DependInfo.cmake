@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/bandwidth.cpp" "src/predict/CMakeFiles/ps360_predict.dir/bandwidth.cpp.o" "gcc" "src/predict/CMakeFiles/ps360_predict.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/predict/bandwidth_estimators.cpp" "src/predict/CMakeFiles/ps360_predict.dir/bandwidth_estimators.cpp.o" "gcc" "src/predict/CMakeFiles/ps360_predict.dir/bandwidth_estimators.cpp.o.d"
+  "/root/repo/src/predict/predictors.cpp" "src/predict/CMakeFiles/ps360_predict.dir/predictors.cpp.o" "gcc" "src/predict/CMakeFiles/ps360_predict.dir/predictors.cpp.o.d"
+  "/root/repo/src/predict/viewport_predictor.cpp" "src/predict/CMakeFiles/ps360_predict.dir/viewport_predictor.cpp.o" "gcc" "src/predict/CMakeFiles/ps360_predict.dir/viewport_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ps360_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/ps360_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ps360_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps360_predict.dir/bandwidth.cpp.o"
+  "CMakeFiles/ps360_predict.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/ps360_predict.dir/bandwidth_estimators.cpp.o"
+  "CMakeFiles/ps360_predict.dir/bandwidth_estimators.cpp.o.d"
+  "CMakeFiles/ps360_predict.dir/predictors.cpp.o"
+  "CMakeFiles/ps360_predict.dir/predictors.cpp.o.d"
+  "CMakeFiles/ps360_predict.dir/viewport_predictor.cpp.o"
+  "CMakeFiles/ps360_predict.dir/viewport_predictor.cpp.o.d"
+  "libps360_predict.a"
+  "libps360_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps360_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ptile/clusterer.cpp" "src/ptile/CMakeFiles/ps360_ptile.dir/clusterer.cpp.o" "gcc" "src/ptile/CMakeFiles/ps360_ptile.dir/clusterer.cpp.o.d"
+  "/root/repo/src/ptile/ftile.cpp" "src/ptile/CMakeFiles/ps360_ptile.dir/ftile.cpp.o" "gcc" "src/ptile/CMakeFiles/ps360_ptile.dir/ftile.cpp.o.d"
+  "/root/repo/src/ptile/heatmap.cpp" "src/ptile/CMakeFiles/ps360_ptile.dir/heatmap.cpp.o" "gcc" "src/ptile/CMakeFiles/ps360_ptile.dir/heatmap.cpp.o.d"
+  "/root/repo/src/ptile/kmeans.cpp" "src/ptile/CMakeFiles/ps360_ptile.dir/kmeans.cpp.o" "gcc" "src/ptile/CMakeFiles/ps360_ptile.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ptile/ptile.cpp" "src/ptile/CMakeFiles/ps360_ptile.dir/ptile.cpp.o" "gcc" "src/ptile/CMakeFiles/ps360_ptile.dir/ptile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ps360_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/ps360_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps360_ptile.dir/clusterer.cpp.o"
+  "CMakeFiles/ps360_ptile.dir/clusterer.cpp.o.d"
+  "CMakeFiles/ps360_ptile.dir/ftile.cpp.o"
+  "CMakeFiles/ps360_ptile.dir/ftile.cpp.o.d"
+  "CMakeFiles/ps360_ptile.dir/heatmap.cpp.o"
+  "CMakeFiles/ps360_ptile.dir/heatmap.cpp.o.d"
+  "CMakeFiles/ps360_ptile.dir/kmeans.cpp.o"
+  "CMakeFiles/ps360_ptile.dir/kmeans.cpp.o.d"
+  "CMakeFiles/ps360_ptile.dir/ptile.cpp.o"
+  "CMakeFiles/ps360_ptile.dir/ptile.cpp.o.d"
+  "libps360_ptile.a"
+  "libps360_ptile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps360_ptile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ps360_ptile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps360_qoe.dir/fitter.cpp.o"
+  "CMakeFiles/ps360_qoe.dir/fitter.cpp.o.d"
+  "CMakeFiles/ps360_qoe.dir/qo_model.cpp.o"
+  "CMakeFiles/ps360_qoe.dir/qo_model.cpp.o.d"
+  "CMakeFiles/ps360_qoe.dir/qoe_model.cpp.o"
+  "CMakeFiles/ps360_qoe.dir/qoe_model.cpp.o.d"
+  "CMakeFiles/ps360_qoe.dir/vmaf_synth.cpp.o"
+  "CMakeFiles/ps360_qoe.dir/vmaf_synth.cpp.o.d"
+  "libps360_qoe.a"
+  "libps360_qoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps360_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps360_sim.dir/client.cpp.o"
+  "CMakeFiles/ps360_sim.dir/client.cpp.o.d"
+  "CMakeFiles/ps360_sim.dir/experiment.cpp.o"
+  "CMakeFiles/ps360_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/ps360_sim.dir/export.cpp.o"
+  "CMakeFiles/ps360_sim.dir/export.cpp.o.d"
+  "CMakeFiles/ps360_sim.dir/schemes.cpp.o"
+  "CMakeFiles/ps360_sim.dir/schemes.cpp.o.d"
+  "CMakeFiles/ps360_sim.dir/session.cpp.o"
+  "CMakeFiles/ps360_sim.dir/session.cpp.o.d"
+  "CMakeFiles/ps360_sim.dir/workload.cpp.o"
+  "CMakeFiles/ps360_sim.dir/workload.cpp.o.d"
+  "libps360_sim.a"
+  "libps360_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps360_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

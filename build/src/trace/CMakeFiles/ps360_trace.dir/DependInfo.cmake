@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/dataset.cpp" "src/trace/CMakeFiles/ps360_trace.dir/dataset.cpp.o" "gcc" "src/trace/CMakeFiles/ps360_trace.dir/dataset.cpp.o.d"
+  "/root/repo/src/trace/head_synth.cpp" "src/trace/CMakeFiles/ps360_trace.dir/head_synth.cpp.o" "gcc" "src/trace/CMakeFiles/ps360_trace.dir/head_synth.cpp.o.d"
+  "/root/repo/src/trace/head_trace.cpp" "src/trace/CMakeFiles/ps360_trace.dir/head_trace.cpp.o" "gcc" "src/trace/CMakeFiles/ps360_trace.dir/head_trace.cpp.o.d"
+  "/root/repo/src/trace/network_trace.cpp" "src/trace/CMakeFiles/ps360_trace.dir/network_trace.cpp.o" "gcc" "src/trace/CMakeFiles/ps360_trace.dir/network_trace.cpp.o.d"
+  "/root/repo/src/trace/video_catalog.cpp" "src/trace/CMakeFiles/ps360_trace.dir/video_catalog.cpp.o" "gcc" "src/trace/CMakeFiles/ps360_trace.dir/video_catalog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ps360_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/ps360_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps360_trace.dir/dataset.cpp.o"
+  "CMakeFiles/ps360_trace.dir/dataset.cpp.o.d"
+  "CMakeFiles/ps360_trace.dir/head_synth.cpp.o"
+  "CMakeFiles/ps360_trace.dir/head_synth.cpp.o.d"
+  "CMakeFiles/ps360_trace.dir/head_trace.cpp.o"
+  "CMakeFiles/ps360_trace.dir/head_trace.cpp.o.d"
+  "CMakeFiles/ps360_trace.dir/network_trace.cpp.o"
+  "CMakeFiles/ps360_trace.dir/network_trace.cpp.o.d"
+  "CMakeFiles/ps360_trace.dir/video_catalog.cpp.o"
+  "CMakeFiles/ps360_trace.dir/video_catalog.cpp.o.d"
+  "libps360_trace.a"
+  "libps360_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps360_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps360_util.dir/csv.cpp.o"
+  "CMakeFiles/ps360_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ps360_util.dir/matrix.cpp.o"
+  "CMakeFiles/ps360_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/ps360_util.dir/rng.cpp.o"
+  "CMakeFiles/ps360_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ps360_util.dir/stats.cpp.o"
+  "CMakeFiles/ps360_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ps360_util.dir/strings.cpp.o"
+  "CMakeFiles/ps360_util.dir/strings.cpp.o.d"
+  "libps360_util.a"
+  "libps360_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps360_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/content.cpp" "src/video/CMakeFiles/ps360_video.dir/content.cpp.o" "gcc" "src/video/CMakeFiles/ps360_video.dir/content.cpp.o.d"
+  "/root/repo/src/video/encoding.cpp" "src/video/CMakeFiles/ps360_video.dir/encoding.cpp.o" "gcc" "src/video/CMakeFiles/ps360_video.dir/encoding.cpp.o.d"
+  "/root/repo/src/video/quality.cpp" "src/video/CMakeFiles/ps360_video.dir/quality.cpp.o" "gcc" "src/video/CMakeFiles/ps360_video.dir/quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ps360_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/ps360_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ps360_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

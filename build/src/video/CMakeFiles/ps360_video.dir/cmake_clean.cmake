@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps360_video.dir/content.cpp.o"
+  "CMakeFiles/ps360_video.dir/content.cpp.o.d"
+  "CMakeFiles/ps360_video.dir/encoding.cpp.o"
+  "CMakeFiles/ps360_video.dir/encoding.cpp.o.d"
+  "CMakeFiles/ps360_video.dir/quality.cpp.o"
+  "CMakeFiles/ps360_video.dir/quality.cpp.o.d"
+  "libps360_video.a"
+  "libps360_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps360_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

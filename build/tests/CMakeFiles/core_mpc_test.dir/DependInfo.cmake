@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_mpc_test.cpp" "tests/CMakeFiles/core_mpc_test.dir/core_mpc_test.cpp.o" "gcc" "tests/CMakeFiles/core_mpc_test.dir/core_mpc_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ps360_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptile/CMakeFiles/ps360_ptile.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/ps360_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ps360_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ps360_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/qoe/CMakeFiles/ps360_qoe.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/ps360_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ps360_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/ps360_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ps360_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mpc_test.dir/core_mpc_test.cpp.o"
+  "CMakeFiles/core_mpc_test.dir/core_mpc_test.cpp.o.d"
+  "core_mpc_test"
+  "core_mpc_test.pdb"
+  "core_mpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

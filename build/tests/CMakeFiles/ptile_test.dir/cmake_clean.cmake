@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptile_test.dir/ptile_test.cpp.o"
+  "CMakeFiles/ptile_test.dir/ptile_test.cpp.o.d"
+  "ptile_test"
+  "ptile_test.pdb"
+  "ptile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/video_test[1]_include.cmake")
+include("/root/repo/build/tests/power_test[1]_include.cmake")
+include("/root/repo/build/tests/qoe_test[1]_include.cmake")
+include("/root/repo/build/tests/ptile_test[1]_include.cmake")
+include("/root/repo/build/tests/predict_test[1]_include.cmake")
+include("/root/repo/build/tests/core_mpc_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/client_test[1]_include.cmake")
