@@ -23,16 +23,13 @@ std::vector<geometry::EquirectPoint> elongated_crowd(std::uint64_t seed) {
   util::Rng rng(seed);
   std::vector<geometry::EquirectPoint> centers;
   for (int i = 0; i < 16; ++i) {
-    centers.push_back(geometry::EquirectPoint::make(120.0 + rng.uniform(-7.0, 7.0),
-                                                    95.0 + rng.uniform(-7.0, 7.0)));
+    centers.push_back(geometry::EquirectPoint::make(geometry::Degrees(120.0 + rng.uniform(-7.0, 7.0)), geometry::Degrees(95.0 + rng.uniform(-7.0, 7.0))));
   }
   for (int i = 0; i < 16; ++i) {
-    centers.push_back(geometry::EquirectPoint::make(190.0 + rng.uniform(-7.0, 7.0),
-                                                    85.0 + rng.uniform(-7.0, 7.0)));
+    centers.push_back(geometry::EquirectPoint::make(geometry::Degrees(190.0 + rng.uniform(-7.0, 7.0)), geometry::Degrees(85.0 + rng.uniform(-7.0, 7.0))));
   }
   for (int i = 0; i <= 9; ++i) {  // the bridge: gaps stay below delta
-    centers.push_back(geometry::EquirectPoint::make(
-        124.0 + 7.0 * i + rng.uniform(-1.5, 1.5), 90.0 + rng.uniform(-2.0, 2.0)));
+    centers.push_back(geometry::EquirectPoint::make(geometry::Degrees(124.0 + 7.0 * i + rng.uniform(-1.5, 1.5)), geometry::Degrees(90.0 + rng.uniform(-2.0, 2.0))));
   }
   return centers;
 }

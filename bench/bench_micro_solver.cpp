@@ -63,7 +63,7 @@ void BM_Clustering(benchmark::State& state) {
   for (std::size_t i = 0; i < n; ++i) {
     const double lon = rng.uniform(0.0, 360.0);
     centers.push_back(
-        geometry::EquirectPoint::make(lon, rng.uniform(40.0, 140.0)));
+        geometry::EquirectPoint::make(geometry::Degrees(lon), geometry::Degrees(rng.uniform(40.0, 140.0))));
   }
   const ptile::ViewClusterer clusterer;
   for (auto _ : state) {

@@ -36,8 +36,9 @@ int main(int argc, char** argv) {
       for (double now = 2.0; now + horizon < head.duration(); now += 1.0) {
         const auto predicted = predictor.predict(head, now, now + horizon);
         const auto actual = head.center_at(now + horizon);
-        errors.push_back(geometry::angular_distance(predicted, actual));
-        const geometry::Viewport viewport(predicted, 100.0, 100.0);
+        errors.push_back(geometry::angular_distance(predicted, actual).value());
+        const geometry::Viewport viewport(predicted, geometry::Degrees(100.0),
+                                          geometry::Degrees(100.0));
         if (viewport.contains(actual)) ++inside;
         ++total;
       }

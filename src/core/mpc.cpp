@@ -7,6 +7,7 @@
 
 #include "core/buffer.h"
 #include "util/check.h"
+#include "util/units.h"
 
 namespace ps360::core {
 
@@ -64,9 +65,10 @@ MpcController::MpcController(MpcConfig config, const power::DeviceModel& device,
 power::SegmentEnergy MpcController::option_energy(const QualityOption& option,
                                                   double bandwidth_bytes_per_s) const {
   PS360_CHECK(bandwidth_bytes_per_s > 0.0);
-  return power::segment_energy(*device_, option.profile,
-                               option.bytes / bandwidth_bytes_per_s, option.fps,
-                               config_.segment_seconds);
+  return power::segment_energy(
+      *device_, option.profile,
+      util::Seconds(option.bytes / bandwidth_bytes_per_s), option.fps,
+      util::Seconds(config_.segment_seconds));
 }
 
 namespace {

@@ -2,17 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numbers>
 
 #include "util/check.h"
 
 namespace ps360::geometry {
 
-double deg_to_rad(double deg) { return deg * std::numbers::pi / 180.0; }
+namespace {
 
-double rad_to_deg(double rad) { return rad * 180.0 / std::numbers::pi; }
-
-double wrap360(double deg) {
+// Internal double-valued wrap; the typed wrap360 below is the public face.
+double wrap360_value(double deg) {
   double w = std::fmod(deg, kDegreesPerTurn);
   if (w < 0.0) w += kDegreesPerTurn;
   // fmod of a value just below a multiple of 360 can round to exactly 360.
@@ -20,15 +18,19 @@ double wrap360(double deg) {
   return w;
 }
 
-double wrap_delta(double a_deg, double b_deg) {
-  double d = std::fmod(a_deg - b_deg, kDegreesPerTurn);
+}  // namespace
+
+Degrees wrap360(Degrees deg) { return Degrees(wrap360_value(deg.value())); }
+
+Degrees wrap_delta(Degrees a, Degrees b) {
+  double d = std::fmod(a.value() - b.value(), kDegreesPerTurn);
   if (d > 180.0) d -= kDegreesPerTurn;
   if (d <= -180.0) d += kDegreesPerTurn;
-  return d;
+  return Degrees(d);
 }
 
-double circular_distance(double a_deg, double b_deg) {
-  return std::fabs(wrap_delta(a_deg, b_deg));
+Degrees circular_distance(Degrees a, Degrees b) {
+  return Degrees(std::fabs(wrap_delta(a, b).value()));
 }
 
 double Vec3::dot(const Vec3& other) const {
@@ -43,25 +45,25 @@ Vec3 Vec3::normalized() const {
   return Vec3{x / n, y / n, z / n};
 }
 
-Vec3 orientation_vector(double lon_deg, double colat_deg) {
-  PS360_CHECK(colat_deg >= 0.0 && colat_deg <= 180.0);
-  const double lon = deg_to_rad(wrap360(lon_deg));
-  const double colat = deg_to_rad(colat_deg);
-  return Vec3{std::sin(colat) * std::cos(lon), std::sin(colat) * std::sin(lon),
-              std::cos(colat)};
+Vec3 orientation_vector(Degrees lon, Degrees colat) {
+  PS360_CHECK(colat.value() >= 0.0 && colat.value() <= 180.0);
+  const double lon_rad = to_radians(wrap360(lon)).value();
+  const double colat_rad = to_radians(colat).value();
+  return Vec3{std::sin(colat_rad) * std::cos(lon_rad),
+              std::sin(colat_rad) * std::sin(lon_rad), std::cos(colat_rad)};
 }
 
-double angular_distance_deg(const Vec3& a, const Vec3& b) {
+Degrees angular_distance(const Vec3& a, const Vec3& b) {
   const double na = a.norm();
   const double nb = b.norm();
   PS360_CHECK(na > 0.0 && nb > 0.0);
   const double cosine = std::clamp(a.dot(b) / (na * nb), -1.0, 1.0);
-  return rad_to_deg(std::acos(cosine));
+  return to_degrees(Radians(std::acos(cosine)));
 }
 
-double switching_speed_deg_per_s(const Vec3& from, const Vec3& to, double dt_s) {
-  PS360_CHECK(dt_s > 0.0);
-  return angular_distance_deg(from, to) / dt_s;
+double switching_speed_deg_per_s(const Vec3& from, const Vec3& to, Seconds dt) {
+  PS360_CHECK(dt.value() > 0.0);
+  return angular_distance(from, to).value() / dt.value();
 }
 
 }  // namespace ps360::geometry

@@ -9,25 +9,35 @@
 //    full 360 x 180 degree sphere; we work in degrees and convert only for
 //    display.
 //
+// Angles crossing this API are strongly typed (util::Degrees / util::Radians,
+// see util/units.h); degree<->radian conversion goes through the explicit
+// util::to_radians / util::to_degrees helpers. Struct data members and
+// private math stay `double` with a unit suffix in the name.
+//
 // Eq. 5 of the paper defines view-switching speed from 3-D orientation
-// vectors; `orientation_vector` and `angular_distance_deg` implement that.
+// vectors; `orientation_vector` and `angular_distance` implement that.
 #pragma once
+
+#include "util/units.h"
 
 namespace ps360::geometry {
 
+using util::Degrees;
+using util::Radians;
+using util::Seconds;
+using util::to_degrees;
+using util::to_radians;
+
 inline constexpr double kDegreesPerTurn = 360.0;
 
-double deg_to_rad(double deg);
-double rad_to_deg(double rad);
-
 // Wrap an angle into [0, 360).
-double wrap360(double deg);
+Degrees wrap360(Degrees deg);
 
 // Shortest signed angular difference a - b, result in (-180, 180].
-double wrap_delta(double a_deg, double b_deg);
+Degrees wrap_delta(Degrees a, Degrees b);
 
 // Absolute shortest angular distance between two longitudes, in [0, 180].
-double circular_distance(double a_deg, double b_deg);
+Degrees circular_distance(Degrees a, Degrees b);
 
 // 3-D unit vector on the sphere.
 struct Vec3 {
@@ -40,17 +50,17 @@ struct Vec3 {
   Vec3 normalized() const;  // requires non-zero norm
 };
 
-// Unit orientation vector for a viewing direction given as longitude
-// (yaw, degrees) and colatitude (degrees). Uses the standard spherical
-// parameterisation: z is the zenith axis.
-Vec3 orientation_vector(double lon_deg, double colat_deg);
+// Unit orientation vector for a viewing direction given as longitude (yaw)
+// and colatitude. Uses the standard spherical parameterisation: z is the
+// zenith axis.
+Vec3 orientation_vector(Degrees lon, Degrees colat);
 
-// Great-circle (angular) distance between two unit orientation vectors, in
-// degrees. This is the arccos term in Eq. 5.
-double angular_distance_deg(const Vec3& a, const Vec3& b);
+// Great-circle (angular) distance between two unit orientation vectors.
+// This is the arccos term in Eq. 5.
+Degrees angular_distance(const Vec3& a, const Vec3& b);
 
 // Eq. 5: view-switching speed in degrees/second between two orientations
 // sampled dt seconds apart (dt > 0).
-double switching_speed_deg_per_s(const Vec3& from, const Vec3& to, double dt_s);
+double switching_speed_deg_per_s(const Vec3& from, const Vec3& to, Seconds dt);
 
 }  // namespace ps360::geometry

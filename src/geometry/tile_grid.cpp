@@ -15,15 +15,16 @@ EquirectRect TileGrid::tile_area(TileIndex t) const {
   PS360_CHECK(t.row < rows_ && t.col < cols_);
   const double w = tile_width_deg();
   const double h = tile_height_deg();
-  return EquirectRect::make(LonInterval::make(static_cast<double>(t.col) * w, w),
-                            static_cast<double>(t.row) * h,
-                            static_cast<double>(t.row + 1) * h);
+  return EquirectRect::make(
+      LonInterval::make(Degrees(static_cast<double>(t.col) * w), Degrees(w)),
+      Degrees(static_cast<double>(t.row) * h),
+      Degrees(static_cast<double>(t.row + 1) * h));
 }
 
 TileIndex TileGrid::tile_at(const EquirectPoint& p) const {
   const double w = tile_width_deg();
   const double h = tile_height_deg();
-  std::size_t col = static_cast<std::size_t>(wrap360(p.x) / w);
+  std::size_t col = static_cast<std::size_t>(wrap360(Degrees(p.x)).value() / w);
   std::size_t row = static_cast<std::size_t>(p.y / h);
   if (col >= cols_) col = cols_ - 1;
   if (row >= rows_) row = rows_ - 1;  // p.y == 180 lands in the last row
@@ -52,9 +53,11 @@ TileRect TileGrid::covering_rect(const EquirectRect& area) const {
     return rect;
   }
 
-  const std::size_t col_lo = static_cast<std::size_t>(wrap360(area.lon.lo) / w) % cols_;
+  const std::size_t col_lo =
+      static_cast<std::size_t>(wrap360(Degrees(area.lon.lo)).value() / w) % cols_;
   const double hi_lon = area.lon.lo + std::max(0.0, area.lon.width - 1e-9);
-  const std::size_t col_hi = static_cast<std::size_t>(wrap360(hi_lon) / w) % cols_;
+  const std::size_t col_hi =
+      static_cast<std::size_t>(wrap360(Degrees(hi_lon)).value() / w) % cols_;
   rect.col_lo = col_lo;
   rect.col_count = (col_hi + cols_ - col_lo) % cols_ + 1;
   // A rect wider than (cols-1) tiles that wraps back into its own first
@@ -94,7 +97,7 @@ TileRect TileGrid::covering_rect(const EquirectRect& area,
     if (area.lon.width >= 360.0 - 1e-9) return 1.0;
     const double col_lo = static_cast<double>(col % cols_) * w;
     // Shift the column start into the area's frame.
-    const double s = wrap360(col_lo - area.lon.lo);
+    const double s = wrap360(Degrees(col_lo - area.lon.lo)).value();
     const double piece1 = std::max(0.0, std::min(area.lon.width, s + w) - s);
     double piece2 = 0.0;
     if (s + w > 360.0) piece2 = std::max(0.0, std::min(area.lon.width, s + w - 360.0));
@@ -135,9 +138,10 @@ EquirectRect TileGrid::rect_area(const TileRect& rect) const {
   const double h = tile_height_deg();
   const double width = static_cast<double>(rect.col_count) * w;
   return EquirectRect::make(
-      LonInterval::make(static_cast<double>(rect.col_lo) * w, std::min(width, 360.0)),
-      static_cast<double>(rect.row_lo) * h,
-      static_cast<double>(rect.row_lo + rect.row_count) * h);
+      LonInterval::make(Degrees(static_cast<double>(rect.col_lo) * w),
+                        Degrees(std::min(width, 360.0))),
+      Degrees(static_cast<double>(rect.row_lo) * h),
+      Degrees(static_cast<double>(rect.row_lo + rect.row_count) * h));
 }
 
 EquirectRect TileGrid::snapped_area(const EquirectRect& area) const {

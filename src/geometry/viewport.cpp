@@ -7,31 +7,35 @@
 
 namespace ps360::geometry {
 
-EquirectPoint EquirectPoint::make(double x_deg, double y_deg) {
-  PS360_CHECK_MSG(y_deg >= 0.0 && y_deg <= 180.0, "colatitude out of [0,180]");
-  return EquirectPoint{wrap360(x_deg), y_deg};
+EquirectPoint EquirectPoint::make(Degrees lon, Degrees colat) {
+  PS360_CHECK_MSG(colat.value() >= 0.0 && colat.value() <= 180.0,
+                  "colatitude out of [0,180]");
+  return EquirectPoint{wrap360(lon).value(), colat.value()};
 }
 
-Vec3 EquirectPoint::orientation() const { return orientation_vector(x, y); }
+Vec3 EquirectPoint::orientation() const {
+  return orientation_vector(Degrees(x), Degrees(y));
+}
 
 double wrapped_distance(const EquirectPoint& a, const EquirectPoint& b) {
-  const double dx = circular_distance(a.x, b.x);
+  const double dx = circular_distance(Degrees(a.x), Degrees(b.x)).value();
   const double dy = a.y - b.y;
   return std::sqrt(dx * dx + dy * dy);
 }
 
-double angular_distance(const EquirectPoint& a, const EquirectPoint& b) {
-  return angular_distance_deg(a.orientation(), b.orientation());
+Degrees angular_distance(const EquirectPoint& a, const EquirectPoint& b) {
+  return angular_distance(a.orientation(), b.orientation());
 }
 
-LonInterval LonInterval::make(double lo_deg, double width_deg) {
-  PS360_CHECK_MSG(width_deg >= 0.0 && width_deg <= 360.0, "arc width out of [0,360]");
-  return LonInterval{wrap360(lo_deg), width_deg};
+LonInterval LonInterval::make(Degrees lo, Degrees width) {
+  PS360_CHECK_MSG(width.value() >= 0.0 && width.value() <= 360.0,
+                  "arc width out of [0,360]");
+  return LonInterval{wrap360(lo).value(), width.value()};
 }
 
-bool LonInterval::contains(double lon_deg) const {
+bool LonInterval::contains(Degrees lon_deg) const {
   if (width >= 360.0) return true;
-  const double offset = wrap360(lon_deg - lo);
+  const double offset = wrap360(lon_deg - Degrees(lo)).value();
   return offset <= width;
 }
 
@@ -42,7 +46,7 @@ LonInterval LonInterval::united(const LonInterval& other) const {
   auto cover = [](const LonInterval& a, const LonInterval& b) {
     // Arc starting at a.lo that covers both a and b.
     const double end_a = a.width;
-    const double b_lo = wrap360(b.lo - a.lo);
+    const double b_lo = wrap360(Degrees(b.lo - a.lo)).value();
     const double b_hi = b_lo + b.width;
     return std::max(end_a, b_hi);
   };
@@ -54,9 +58,11 @@ LonInterval LonInterval::united(const LonInterval& other) const {
   return LonInterval{other.lo, std::min(w2, 360.0)};
 }
 
-LonInterval minimal_covering_arc(std::vector<double> lons_deg) {
-  if (lons_deg.empty()) return LonInterval{0.0, 0.0};
-  for (auto& lon : lons_deg) lon = wrap360(lon);
+LonInterval minimal_covering_arc(std::vector<Degrees> lons) {
+  if (lons.empty()) return LonInterval{0.0, 0.0};
+  std::vector<double> lons_deg;
+  lons_deg.reserve(lons.size());
+  for (const auto lon : lons) lons_deg.push_back(wrap360(lon).value());
   std::sort(lons_deg.begin(), lons_deg.end());
   const std::size_t n = lons_deg.size();
   if (n == 1) return LonInterval{lons_deg[0], 0.0};
@@ -74,13 +80,13 @@ LonInterval minimal_covering_arc(std::vector<double> lons_deg) {
   return LonInterval{lons_deg[best_start], 360.0 - best_gap};
 }
 
-EquirectRect EquirectRect::make(LonInterval lon, double y_lo, double y_hi) {
-  PS360_CHECK(y_lo >= 0.0 && y_hi <= 180.0 && y_lo <= y_hi);
-  return EquirectRect{lon, y_lo, y_hi};
+EquirectRect EquirectRect::make(LonInterval lon, Degrees y_lo, Degrees y_hi) {
+  PS360_CHECK(y_lo.value() >= 0.0 && y_hi.value() <= 180.0 && y_lo <= y_hi);
+  return EquirectRect{lon, y_lo.value(), y_hi.value()};
 }
 
 bool EquirectRect::contains(const EquirectPoint& p) const {
-  return lon.contains(p.x) && p.y >= y_lo && p.y <= y_hi;
+  return lon.contains(Degrees(p.x)) && p.y >= y_lo && p.y <= y_hi;
 }
 
 EquirectRect EquirectRect::united(const EquirectRect& other) const {
@@ -89,9 +95,11 @@ EquirectRect EquirectRect::united(const EquirectRect& other) const {
 }
 
 double EquirectRect::coverage_of(const EquirectRect& other) const {
-  if (other.area_deg2() <= 0.0) return contains(EquirectPoint{other.lon.lo, other.y_lo}) ? 1.0 : 0.0;
+  if (other.area_deg2() <= 0.0)
+    return contains(EquirectPoint{other.lon.lo, other.y_lo}) ? 1.0 : 0.0;
   // Vertical overlap is a plain interval intersection.
-  const double oy = std::max(0.0, std::min(y_hi, other.y_hi) - std::max(y_lo, other.y_lo));
+  const double oy =
+      std::max(0.0, std::min(y_hi, other.y_hi) - std::max(y_lo, other.y_lo));
   if (oy <= 0.0) return 0.0;
   // Horizontal overlap on the circle: shift into this->lon's frame.
   double ox = 0.0;
@@ -104,7 +112,7 @@ double EquirectRect::coverage_of(const EquirectRect& other) const {
     // start in this frame. The second interval may wrap past 360 and
     // re-enter at 0; account for both pieces.
     const double w = lon.width;
-    const double s = wrap360(other.lon.lo - lon.lo);
+    const double s = wrap360(Degrees(other.lon.lo - lon.lo)).value();
     const double ow = other.lon.width;
     const double piece1 = std::max(0.0, std::min(w, s + ow) - s);  // [s, min(...)]
     double piece2 = 0.0;
@@ -117,16 +125,17 @@ double EquirectRect::coverage_of(const EquirectRect& other) const {
   return (ox * oy) / other.area_deg2();
 }
 
-Viewport::Viewport(EquirectPoint center, double fov_h_deg, double fov_v_deg)
-    : center_(center), fov_h_(fov_h_deg), fov_v_(fov_v_deg) {
-  PS360_CHECK(fov_h_deg > 0.0 && fov_h_deg <= 360.0);
-  PS360_CHECK(fov_v_deg > 0.0 && fov_v_deg <= 180.0);
+Viewport::Viewport(EquirectPoint center, Degrees fov_h, Degrees fov_v)
+    : center_(center), fov_h_(fov_h.value()), fov_v_(fov_v.value()) {
+  PS360_CHECK(fov_h_ > 0.0 && fov_h_ <= 360.0);
+  PS360_CHECK(fov_v_ > 0.0 && fov_v_ <= 180.0);
 }
 
 EquirectRect Viewport::area() const {
   const double y_lo = std::max(0.0, center_.y - fov_v_ / 2.0);
   const double y_hi = std::min(180.0, center_.y + fov_v_ / 2.0);
-  return EquirectRect{LonInterval::make(center_.x - fov_h_ / 2.0, fov_h_), y_lo, y_hi};
+  return EquirectRect{LonInterval::make(Degrees(center_.x - fov_h_ / 2.0), Degrees(fov_h_)),
+                      y_lo, y_hi};
 }
 
 }  // namespace ps360::geometry

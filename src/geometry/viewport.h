@@ -1,4 +1,8 @@
 // Viewing centers and viewports (FoV regions) on the equirectangular plane.
+//
+// Angle-valued parameters on this API are strongly typed (util::Degrees);
+// struct data members stay `double` degrees per the units convention in
+// util/units.h.
 #pragma once
 
 #include <vector>
@@ -8,13 +12,16 @@
 namespace ps360::geometry {
 
 // A point on the equirectangular plane: x = longitude in [0,360) (wraps),
-// y = colatitude in [0,180].
+// y = colatitude in [0,180], both in degrees.
 struct EquirectPoint {
   double x = 0.0;
   double y = 90.0;
 
-  // Construct with validation (x is wrapped, y must be within [0,180]).
-  static EquirectPoint make(double x_deg, double y_deg);
+  // Construct with validation (lon is wrapped, colat must be within [0,180]).
+  static EquirectPoint make(Degrees lon, Degrees colat);
+
+  Degrees lon() const { return Degrees(x); }
+  Degrees colat() const { return Degrees(y); }
 
   // 3-D unit orientation for Eq. 5.
   Vec3 orientation() const;
@@ -26,18 +33,18 @@ struct EquirectPoint {
 // honour the x wraparound so that centers at 359 and 1 degree are close.
 double wrapped_distance(const EquirectPoint& a, const EquirectPoint& b);
 
-// Angular (great-circle) distance in degrees between two viewing centers.
-double angular_distance(const EquirectPoint& a, const EquirectPoint& b);
+// Angular (great-circle) distance between two viewing centers.
+Degrees angular_distance(const EquirectPoint& a, const EquirectPoint& b);
 
 // A closed interval of longitudes [lo, lo+width] that may wrap around 360.
 // width is in [0, 360].
 struct LonInterval {
-  double lo = 0.0;     // wrapped into [0,360)
+  double lo = 0.0;     // degrees, wrapped into [0,360)
   double width = 0.0;  // degrees
 
-  static LonInterval make(double lo_deg, double width_deg);
+  static LonInterval make(Degrees lo, Degrees width);
 
-  bool contains(double lon_deg) const;
+  bool contains(Degrees lon) const;
 
   // The smallest interval containing both (used when growing cluster spans).
   // If the union cannot be covered by a single arc < 360 degrees, returns a
@@ -48,16 +55,16 @@ struct LonInterval {
 // Minimal arc (lo, width) covering all given longitudes. For an empty input
 // returns a zero-width arc at 0. Works by sorting and finding the largest
 // angular gap.
-LonInterval minimal_covering_arc(std::vector<double> lons_deg);
+LonInterval minimal_covering_arc(std::vector<Degrees> lons);
 
 // Rectangular viewing area on the equirect plane: a longitude interval that
 // may wrap, and a colatitude interval clamped to [0,180].
 struct EquirectRect {
   LonInterval lon;
-  double y_lo = 0.0;
-  double y_hi = 0.0;  // y_lo <= y_hi
+  double y_lo = 0.0;  // degrees colatitude
+  double y_hi = 0.0;  // degrees colatitude, y_lo <= y_hi
 
-  static EquirectRect make(LonInterval lon, double y_lo, double y_hi);
+  static EquirectRect make(LonInterval lon, Degrees y_lo, Degrees y_hi);
 
   double height() const { return y_hi - y_lo; }
   double area_deg2() const { return lon.width * height(); }
@@ -77,11 +84,12 @@ struct EquirectRect {
 // (100 x 100 degrees by default, per the paper).
 class Viewport {
  public:
-  Viewport(EquirectPoint center, double fov_h_deg = 100.0, double fov_v_deg = 100.0);
+  explicit Viewport(EquirectPoint center, Degrees fov_h = Degrees(100.0),
+                    Degrees fov_v = Degrees(100.0));
 
   const EquirectPoint& center() const { return center_; }
-  double fov_h() const { return fov_h_; }
-  double fov_v() const { return fov_v_; }
+  Degrees fov_h() const { return Degrees(fov_h_); }
+  Degrees fov_v() const { return Degrees(fov_v_); }
 
   // The viewing area as an equirect rect. The vertical extent is clamped to
   // the frame; the horizontal extent may wrap.
@@ -91,8 +99,8 @@ class Viewport {
 
  private:
   EquirectPoint center_;
-  double fov_h_;
-  double fov_v_;
+  double fov_h_;  // degrees
+  double fov_v_;  // degrees
 };
 
 }  // namespace ps360::geometry

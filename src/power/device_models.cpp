@@ -21,11 +21,13 @@ double LinearPower::at(double fps) const {
   return base_mw + slope_mw_per_fps * fps;
 }
 
-double DeviceModel::decode_mw(DecodeProfile profile, double fps) const {
-  return decode[static_cast<std::size_t>(profile)].at(fps);
+util::Watts DeviceModel::decode_power(DecodeProfile profile, double fps) const {
+  return util::milliwatts(decode[static_cast<std::size_t>(profile)].at(fps));
 }
 
-double DeviceModel::render_mw(double fps) const { return render.at(fps); }
+util::Watts DeviceModel::render_power(double fps) const {
+  return util::milliwatts(render.at(fps));
+}
 
 const DeviceModel& device_model(Device device) {
   // Table I, transcribed verbatim.

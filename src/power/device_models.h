@@ -17,6 +17,8 @@
 #include <cstddef>
 #include <string>
 
+#include "util/units.h"
+
 namespace ps360::power {
 
 enum class Device { kNexus5X = 0, kPixel3 = 1, kGalaxyS20 = 2 };
@@ -49,8 +51,10 @@ struct DeviceModel {
   std::array<LinearPower, kDecodeProfileCount> decode;  // P_d(f) per profile
   LinearPower render;                                   // P_r(f)
 
-  double decode_mw(DecodeProfile profile, double fps) const;
-  double render_mw(double fps) const;
+  // Typed accessors (util/units.h): power crossing the public API is Watts.
+  util::Watts transmit_power() const { return util::milliwatts(transmit_mw); }
+  util::Watts decode_power(DecodeProfile profile, double fps) const;
+  util::Watts render_power(double fps) const;
 };
 
 // The Table I model for a device (static data, always available).

@@ -12,15 +12,17 @@ SegmentEnergy& SegmentEnergy::operator+=(const SegmentEnergy& other) {
 }
 
 SegmentEnergy segment_energy(const DeviceModel& device, DecodeProfile profile,
-                             double download_seconds, double fps,
-                             double segment_seconds) {
-  PS360_CHECK(download_seconds >= 0.0);
+                             util::Seconds download_time, double fps,
+                             util::Seconds segment_duration) {
+  PS360_CHECK(download_time.value() >= 0.0);
   PS360_CHECK(fps > 0.0);
-  PS360_CHECK(segment_seconds > 0.0);
+  PS360_CHECK(segment_duration.value() > 0.0);
+  constexpr double kMilliPerUnit = 1e3;
   SegmentEnergy e;
-  e.transmit_mj = device.transmit_mw * download_seconds;
-  e.decode_mj = device.decode_mw(profile, fps) * segment_seconds;
-  e.render_mj = device.render_mw(fps) * segment_seconds;
+  e.transmit_mj = (device.transmit_power() * download_time).value() * kMilliPerUnit;
+  e.decode_mj =
+      (device.decode_power(profile, fps) * segment_duration).value() * kMilliPerUnit;
+  e.render_mj = (device.render_power(fps) * segment_duration).value() * kMilliPerUnit;
   return e;
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "power/device_models.h"
+#include "util/units.h"
 
 namespace ps360::power {
 
@@ -19,6 +20,7 @@ struct SegmentEnergy {
   double render_mj = 0.0;
 
   double total_mj() const { return transmit_mj + decode_mj + render_mj; }
+  util::Joules total() const { return util::millijoules(total_mj()); }
 
   SegmentEnergy& operator+=(const SegmentEnergy& other);
   friend SegmentEnergy operator+(SegmentEnergy a, const SegmentEnergy& b) {
@@ -26,11 +28,11 @@ struct SegmentEnergy {
   }
 };
 
-// Energy to download (for `download_seconds`), decode and render one
-// `segment_seconds`-long segment at frame rate `fps` on `device` using the
+// Energy to download (for `download_time`), decode and render one
+// `segment_duration`-long segment at frame rate `fps` on `device` using the
 // given decode pipeline. mW * s = mJ.
 SegmentEnergy segment_energy(const DeviceModel& device, DecodeProfile profile,
-                             double download_seconds, double fps,
-                             double segment_seconds);
+                             util::Seconds download_time, double fps,
+                             util::Seconds segment_duration);
 
 }  // namespace ps360::power

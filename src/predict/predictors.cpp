@@ -63,7 +63,9 @@ double mean_prediction_error(PredictorKind kind, const trace::HeadTrace& trace,
   for (double now = base.history_seconds + 1.0; now + horizon_s < trace.duration();
        now += stride_s) {
     const auto predicted = predict_with(kind, trace, now, now + horizon_s, base);
-    total += geometry::angular_distance(predicted, trace.center_at(now + horizon_s));
+    total +=
+        geometry::angular_distance(predicted, trace.center_at(now + horizon_s))
+            .value();
     ++count;
   }
   PS360_CHECK_MSG(count > 0, "trace too short for this horizon");

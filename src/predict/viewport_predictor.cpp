@@ -35,7 +35,9 @@ EquirectPoint ViewportPredictor::predict(const trace::HeadTrace& trace, double n
       x_acc = s.center.x;
       first = false;
     } else {
-      x_acc += geometry::wrap_delta(s.center.x, prev_x);
+      x_acc += geometry::wrap_delta(geometry::Degrees(s.center.x),
+                                    geometry::Degrees(prev_x))
+                   .value();
     }
     prev_x = s.center.x;
     times.push_back(s.t - now_t);  // in [-W, 0]
@@ -89,7 +91,7 @@ EquirectPoint ViewportPredictor::predict(const trace::HeadTrace& trace, double n
 
   const double x_pred = extrapolate(xs_unwrapped);
   const double y_pred = std::clamp(extrapolate(ys), 0.0, 180.0);
-  return EquirectPoint{geometry::wrap360(x_pred), y_pred};
+  return EquirectPoint{geometry::wrap360(geometry::Degrees(x_pred)).value(), y_pred};
 }
 
 double ViewportPredictor::recent_switching_speed(const trace::HeadTrace& trace,

@@ -28,12 +28,14 @@ FtileLayout::FtileLayout(const std::vector<EquirectPoint>& centers,
     for (std::size_t c = 0; c < blocks_.cols(); ++c) {
       const auto area = blocks_.tile_area(TileIndex{r, c});
       const EquirectPoint center{
-          geometry::wrap360(area.lon.lo + area.lon.width / 2.0),
+          geometry::wrap360(geometry::Degrees(area.lon.lo + area.lon.width / 2.0)).value(),
           (area.y_lo + area.y_hi) / 2.0};
       block_centers.push_back(center);
       double views = 0.0;
       for (const auto& user_center : centers) {
-        if (Viewport(user_center, config.fov_deg, config.fov_deg).contains(center))
+        if (Viewport(user_center, geometry::Degrees(config.fov_deg),
+                     geometry::Degrees(config.fov_deg))
+                .contains(center))
           views += 1.0;
       }
       // +1 keeps unwatched blocks clusterable; view-dense blocks dominate
@@ -82,7 +84,9 @@ std::vector<std::size_t> FtileLayout::tiles_overlapping(
     const TileIndex idx{b / blocks_.cols(), b % blocks_.cols()};
     const auto block_area = blocks_.tile_area(idx);
     const EquirectPoint center{
-        geometry::wrap360(block_area.lon.lo + block_area.lon.width / 2.0),
+        geometry::wrap360(
+            geometry::Degrees(block_area.lon.lo + block_area.lon.width / 2.0))
+            .value(),
         (block_area.y_lo + block_area.y_hi) / 2.0};
     if (area.contains(center)) ++hits[block_owner_[b]];
   }
@@ -109,7 +113,9 @@ double FtileLayout::coverage(const Viewport& viewport,
     const TileIndex idx{b / blocks_.cols(), b % blocks_.cols()};
     const auto block_area = blocks_.tile_area(idx);
     const EquirectPoint center{
-        geometry::wrap360(block_area.lon.lo + block_area.lon.width / 2.0),
+        geometry::wrap360(
+            geometry::Degrees(block_area.lon.lo + block_area.lon.width / 2.0))
+            .value(),
         (block_area.y_lo + block_area.y_hi) / 2.0};
     if (!area.contains(center)) continue;
     ++in_view;

@@ -13,7 +13,9 @@ ViewHeatmap::ViewHeatmap(std::size_t rows, std::size_t cols)
 
 EquirectPoint ViewHeatmap::cell_center(std::size_t row, std::size_t col) const {
   const auto area = grid_.tile_area(geometry::TileIndex{row, col});
-  return EquirectPoint{geometry::wrap360(area.lon.lo + area.lon.width / 2.0),
+  return EquirectPoint{
+      geometry::wrap360(geometry::Degrees(area.lon.lo + area.lon.width / 2.0))
+          .value(),
                        (area.y_lo + area.y_hi) / 2.0};
 }
 

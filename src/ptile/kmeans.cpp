@@ -24,7 +24,7 @@ EquirectPoint centroid(const std::vector<EquirectPoint>& points,
   for (std::size_t idx : member_indices) {
     PS360_CHECK(idx < points.size());
     const double w = weights.empty() ? 1.0 : weights[idx];
-    const double rad = geometry::deg_to_rad(points[idx].x);
+    const double rad = geometry::to_radians(geometry::Degrees(points[idx].x)).value();
     sx += w * std::cos(rad);
     sy += w * std::sin(rad);
     y_sum += w * points[idx].y;
@@ -35,7 +35,8 @@ EquirectPoint centroid(const std::vector<EquirectPoint>& points,
   if (std::fabs(sx) < 1e-12 && std::fabs(sy) < 1e-12) {
     x = points[member_indices.front()].x;  // antipodal degenerate case
   } else {
-    x = geometry::wrap360(geometry::rad_to_deg(std::atan2(sy, sx)));
+    x = geometry::wrap360(geometry::to_degrees(geometry::Radians(std::atan2(sy, sx))))
+            .value();
   }
   return EquirectPoint{x, std::clamp(y_sum / w_sum, 0.0, 180.0)};
 }

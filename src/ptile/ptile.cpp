@@ -37,10 +37,14 @@ SegmentPtiles PtileBuilder::build(const std::vector<EquirectPoint>& centers) con
     // outward to conventional-tile boundaries ("encoding the conventional
     // tiles that cover the viewing areas of users in this cluster").
     EquirectRect footprint =
-        Viewport(centers[group.front()], config_.fov_deg, config_.fov_deg).area();
+        Viewport(centers[group.front()], geometry::Degrees(config_.fov_deg),
+                 geometry::Degrees(config_.fov_deg))
+            .area();
     for (std::size_t i = 1; i < group.size(); ++i) {
       footprint = footprint.united(
-          Viewport(centers[group[i]], config_.fov_deg, config_.fov_deg).area());
+          Viewport(centers[group[i]], geometry::Degrees(config_.fov_deg),
+                   geometry::Degrees(config_.fov_deg))
+              .area());
     }
     Ptile ptile;
     ptile.rect = grid_.covering_rect(footprint, config_.tile_overlap_threshold);

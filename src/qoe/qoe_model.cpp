@@ -12,8 +12,10 @@ QoEModel::QoEModel(QoEWeights weights) : weights_(weights) {
   PS360_CHECK(weights.rebuffer >= 0.0);
 }
 
-SegmentQoE QoEModel::segment(double qo, double prev_qo, double download_seconds,
-                             double buffer_seconds) const {
+SegmentQoE QoEModel::segment(double qo, double prev_qo, util::Seconds download_time,
+                             util::Seconds buffer_level) const {
+  const double download_seconds = download_time.value();
+  const double buffer_seconds = buffer_level.value();
   PS360_CHECK(qo >= 0.0 && qo <= 100.0);
   PS360_CHECK(prev_qo >= 0.0 && prev_qo <= 100.0);
   PS360_CHECK(download_seconds >= 0.0);
@@ -22,7 +24,8 @@ SegmentQoE QoEModel::segment(double qo, double prev_qo, double download_seconds,
   s.qo = qo;
   s.variation = std::fabs(qo - prev_qo);
   const double stall = std::max(download_seconds - buffer_seconds, 0.0);
-  const double buffer_floor = std::max(buffer_seconds, kMinBufferForRebuffer);
+  const double buffer_floor =
+      std::max(buffer_seconds, kMinBufferForRebuffer.value());
   s.rebuffer = stall / buffer_floor * qo;
   s.q = qo - weights_.variation * s.variation - weights_.rebuffer * s.rebuffer;
   return s;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "qoe/qo_model.h"
+#include "util/units.h"
 
 namespace ps360::qoe {
 
@@ -36,13 +37,13 @@ class QoEModel {
   const QoEWeights& weights() const { return weights_; }
 
   // QoE of one segment. `prev_qo` is Qo_{k-1} (pass qo for the first
-  // segment so the variation term vanishes). `download_seconds` is
-  // S_k / R_k; `buffer_seconds` is B_k at request time, floored at
+  // segment so the variation term vanishes). `download_time` is
+  // S_k / R_k; `buffer_level` is B_k at request time, floored at
   // `kMinBufferForRebuffer` to keep I_r finite at a drained buffer.
-  SegmentQoE segment(double qo, double prev_qo, double download_seconds,
-                     double buffer_seconds) const;
+  SegmentQoE segment(double qo, double prev_qo, util::Seconds download_time,
+                     util::Seconds buffer_level) const;
 
-  static constexpr double kMinBufferForRebuffer = 0.25;
+  static constexpr util::Seconds kMinBufferForRebuffer{0.25};
 
  private:
   QoEWeights weights_;

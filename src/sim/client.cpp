@@ -64,7 +64,8 @@ std::optional<ClientRequest> StreamingClient::plan_next() {
   }
   const double download_fov = std::min(
       workload_->config().fov_deg + 2.0 * config_.download_fov_padding_deg, 180.0);
-  request.predicted = geometry::Viewport(center, download_fov, download_fov);
+  request.predicted = geometry::Viewport(center, geometry::Degrees(download_fov),
+                                         geometry::Degrees(download_fov));
   request.predicted_sfov = predictor_.recent_switching_speed(*head_, playhead);
   request.bandwidth_estimate_bps = bandwidth_->estimate();
 

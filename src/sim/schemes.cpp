@@ -249,7 +249,9 @@ class NontileScheme : public SchemeBase {
     plan.frame_ratio = frame_ladder_.ratio(decision.choice.frame_index);
     plan.mpc_feasible = decision.feasible;
     plan.hq_region =
-        EquirectRect::make(geometry::LonInterval::make(0.0, 360.0), 0.0, 180.0);
+        EquirectRect::make(
+            geometry::LonInterval::make(geometry::Degrees(0.0), geometry::Degrees(360.0)),
+            geometry::Degrees(0.0), geometry::Degrees(180.0));
     return plan;
   }
 

@@ -7,6 +7,7 @@
 
 #include "predict/bandwidth.h"
 #include "util/check.h"
+#include "util/units.h"
 
 namespace ps360::sim {
 
@@ -98,13 +99,17 @@ SessionResult simulate_session(const VideoWorkload& workload, std::size_t test_u
     const double qo_eff = cov_w * qo_hq + (1.0 - cov_w) * qo_bg;
 
     const qoe::SegmentQoE seg_qoe =
-        k == 0 ? qoe_model.segment(qo_eff, qo_eff, 0.0, beta)
-               : qoe_model.segment(qo_eff, prev_actual_qo, download_s,
-                                   buffer_at_request);
+        k == 0 ? qoe_model.segment(qo_eff, qo_eff, util::Seconds(0.0),
+                                   util::Seconds(beta))
+               : qoe_model.segment(qo_eff, prev_actual_qo,
+                                   util::Seconds(download_s),
+                                   util::Seconds(buffer_at_request));
     qoe_segments.push_back(seg_qoe);
 
-    const power::SegmentEnergy energy = power::segment_energy(
-        device, plan.option.profile, download_s, plan.option.fps, L);
+    const power::SegmentEnergy energy =
+        power::segment_energy(device, plan.option.profile,
+                              util::Seconds(download_s), plan.option.fps,
+                              util::Seconds(L));
 
     SegmentRecord record;
     record.index = k;

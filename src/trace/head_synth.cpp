@@ -19,8 +19,10 @@ AttractorPath::AttractorPath(const VideoInfo& video, std::size_t index,
   const double n = static_cast<double>(video.n_attractors);
   // Spread base longitudes around the sphere with jitter so attractors for
   // different videos are decorrelated.
-  lon0_ = geometry::wrap360(360.0 * (static_cast<double>(index) + 0.5) / n +
-                            rng.uniform(-30.0, 30.0));
+  lon0_ = geometry::wrap360(
+              geometry::Degrees(360.0 * (static_cast<double>(index) + 0.5) / n +
+                                rng.uniform(-30.0, 30.0)))
+              .value();
   lon_period_ = rng.uniform(18.0, 40.0);
   lon_phase_ = rng.uniform(0.0, 2.0 * std::numbers::pi);
   // Sinusoidal oscillation whose *peak* angular speed matches the genre's
@@ -45,7 +47,7 @@ EquirectPoint AttractorPath::at(double t) const {
                                          lon_phase_);
   double y = y0_ + y_amp_ * std::sin(2.0 * std::numbers::pi * t / y_period_ + y_phase_);
   y = std::clamp(y, 15.0, 165.0);
-  return EquirectPoint{geometry::wrap360(lon), y};
+  return EquirectPoint{geometry::wrap360(geometry::Degrees(lon)).value(), y};
 }
 
 HeadTraceSynthesizer::HeadTraceSynthesizer(HeadSynthConfig config)
@@ -108,7 +110,7 @@ HeadTrace HeadTraceSynthesizer::synthesize(const VideoInfo& video, int user_id) 
 
   // Gaze state: start on the initial target.
   EquirectPoint pos = paths[target_attractor].at(0.0);
-  pos.x = geometry::wrap360(pos.x + offset_x);
+  pos.x = geometry::wrap360(geometry::Degrees(pos.x + offset_x)).value();
   pos.y = std::clamp(pos.y + offset_y, 0.0, 180.0);
 
   std::vector<HeadSample> samples;
@@ -135,12 +137,14 @@ HeadTrace HeadTraceSynthesizer::synthesize(const VideoInfo& video, int user_id) 
       target = explore_target;
     } else {
       target = paths[target_attractor].at(t);
-      target.x = geometry::wrap360(target.x + offset_x);
+      target.x = geometry::wrap360(geometry::Degrees(target.x + offset_x)).value();
       target.y = std::clamp(target.y + offset_y, 0.0, 180.0);
     }
 
     // First-order smooth pursuit with velocity caps and white velocity noise.
-    const double err_x = geometry::wrap_delta(target.x, pos.x);
+    const double err_x = geometry::wrap_delta(geometry::Degrees(target.x),
+                                              geometry::Degrees(pos.x))
+                             .value();
     const double err_y = target.y - pos.y;
     const double vx = std::clamp(config_.pursuit_gain * err_x, -config_.max_speed_x,
                                  config_.max_speed_x) +
@@ -148,12 +152,14 @@ HeadTrace HeadTraceSynthesizer::synthesize(const VideoInfo& video, int user_id) 
     const double vy = std::clamp(config_.pursuit_gain * err_y, -config_.max_speed_y,
                                  config_.max_speed_y) +
                       rng.normal(0.0, config_.velocity_noise);
-    pos.x = geometry::wrap360(pos.x + vx * dt);
+    pos.x = geometry::wrap360(geometry::Degrees(pos.x + vx * dt)).value();
     pos.y = std::clamp(pos.y + vy * dt, 0.0, 180.0);
 
     // Recorded sample = true gaze + sensor jitter.
     EquirectPoint recorded{
-        geometry::wrap360(pos.x + rng.normal(0.0, config_.sensor_jitter)),
+        geometry::wrap360(
+            geometry::Degrees(pos.x + rng.normal(0.0, config_.sensor_jitter)))
+            .value(),
         std::clamp(pos.y + rng.normal(0.0, config_.sensor_jitter), 0.0, 180.0)};
     samples.push_back(HeadSample{t, recorded});
   }

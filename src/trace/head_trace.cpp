@@ -24,8 +24,9 @@ namespace {
 // Interpolate between two equirect points, taking the short way around in
 // longitude. frac in [0,1].
 EquirectPoint lerp_center(const EquirectPoint& a, const EquirectPoint& b, double frac) {
-  const double dx = geometry::wrap_delta(b.x, a.x);
-  const double x = geometry::wrap360(a.x + dx * frac);
+  const double dx =
+      geometry::wrap_delta(geometry::Degrees(b.x), geometry::Degrees(a.x)).value();
+  const double x = geometry::wrap360(geometry::Degrees(a.x + dx * frac)).value();
   const double y = a.y + (b.y - a.y) * frac;
   return EquirectPoint{x, y};
 }
@@ -45,7 +46,8 @@ EquirectPoint HeadTrace::center_at(double t) const {
 }
 
 geometry::Viewport HeadTrace::viewport_at(double t, double fov_deg) const {
-  return geometry::Viewport(center_at(t), fov_deg, fov_deg);
+  return geometry::Viewport(center_at(t), geometry::Degrees(fov_deg),
+                            geometry::Degrees(fov_deg));
 }
 
 EquirectPoint HeadTrace::mean_center(double t0, double t1) const {
@@ -55,7 +57,7 @@ EquirectPoint HeadTrace::mean_center(double t0, double t1) const {
   std::size_t n = 0;
   for (const auto& s : samples_) {
     if (s.t < t0 || s.t > t1) continue;
-    const double rad = geometry::deg_to_rad(s.center.x);
+    const double rad = geometry::to_radians(geometry::Degrees(s.center.x)).value();
     sx += std::cos(rad);
     sy += std::sin(rad);
     y_sum += s.center.y;
@@ -66,7 +68,8 @@ EquirectPoint HeadTrace::mean_center(double t0, double t1) const {
   if (sx == 0.0 && sy == 0.0) {
     x = center_at((t0 + t1) / 2.0).x;  // degenerate: antipodal spread
   } else {
-    x = geometry::wrap360(geometry::rad_to_deg(std::atan2(sy, sx)));
+    x = geometry::wrap360(geometry::to_degrees(geometry::Radians(std::atan2(sy, sx))))
+            .value();
   }
   return EquirectPoint{x, y_sum / static_cast<double>(n)};
 }
@@ -82,13 +85,13 @@ double HeadTrace::switching_speed(double t0, double t1) const {
   for (const auto& s : samples_) {
     if (s.t <= t0 || s.t >= t1) continue;
     const geometry::Vec3 cur = s.center.orientation();
-    path_deg += geometry::angular_distance_deg(prev, cur);
+    path_deg += geometry::angular_distance(prev, cur).value();
     prev = cur;
     prev_t = s.t;
     any = true;
   }
   const geometry::Vec3 last = center_at(t1).orientation();
-  path_deg += geometry::angular_distance_deg(prev, last);
+  path_deg += geometry::angular_distance(prev, last).value();
   (void)prev_t;
   (void)any;
   return path_deg / (t1 - t0);
@@ -102,7 +105,8 @@ std::vector<double> HeadTrace::switching_speed_series() const {
   for (std::size_t i = 1; i < samples_.size(); ++i) {
     const geometry::Vec3 cur = samples_[i].center.orientation();
     const double dt = samples_[i].t - samples_[i - 1].t;
-    speeds.push_back(geometry::switching_speed_deg_per_s(prev, cur, dt));
+    speeds.push_back(
+        geometry::switching_speed_deg_per_s(prev, cur, geometry::Seconds(dt)));
     prev = cur;
   }
   return speeds;
@@ -126,7 +130,8 @@ HeadTrace load_head_trace(const std::filesystem::path& path, int video_id, int u
   samples.reserve(table.rows.size());
   for (const auto& row : table.rows) {
     samples.push_back(
-        HeadSample{row[ct], geometry::EquirectPoint::make(row[cx], row[cy])});
+        HeadSample{row[ct], geometry::EquirectPoint::make(geometry::Degrees(row[cx]),
+                                                          geometry::Degrees(row[cy]))});
   }
   return HeadTrace(video_id, user_id, std::move(samples));
 }

@@ -16,110 +16,110 @@ namespace {
 // ------------------------------------------------------------------ Angles
 
 TEST(AnglesTest, Wrap360) {
-  EXPECT_DOUBLE_EQ(wrap360(0.0), 0.0);
-  EXPECT_DOUBLE_EQ(wrap360(360.0), 0.0);
-  EXPECT_DOUBLE_EQ(wrap360(-10.0), 350.0);
-  EXPECT_DOUBLE_EQ(wrap360(725.0), 5.0);
-  EXPECT_GE(wrap360(-1e-13), 0.0);
-  EXPECT_LT(wrap360(359.9999999), 360.0);
+  EXPECT_DOUBLE_EQ(wrap360(Degrees(0.0)).value(), 0.0);
+  EXPECT_DOUBLE_EQ(wrap360(Degrees(360.0)).value(), 0.0);
+  EXPECT_DOUBLE_EQ(wrap360(Degrees(-10.0)).value(), 350.0);
+  EXPECT_DOUBLE_EQ(wrap360(Degrees(725.0)).value(), 5.0);
+  EXPECT_GE(wrap360(Degrees(-1e-13)).value(), 0.0);
+  EXPECT_LT(wrap360(Degrees(359.9999999)).value(), 360.0);
 }
 
 TEST(AnglesTest, WrapDeltaShortestPath) {
-  EXPECT_DOUBLE_EQ(wrap_delta(10.0, 350.0), 20.0);
-  EXPECT_DOUBLE_EQ(wrap_delta(350.0, 10.0), -20.0);
-  EXPECT_DOUBLE_EQ(wrap_delta(180.0, 0.0), 180.0);
-  EXPECT_DOUBLE_EQ(wrap_delta(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_delta(Degrees(10.0), Degrees(350.0)).value(), 20.0);
+  EXPECT_DOUBLE_EQ(wrap_delta(Degrees(350.0), Degrees(10.0)).value(), -20.0);
+  EXPECT_DOUBLE_EQ(wrap_delta(Degrees(180.0), Degrees(0.0)).value(), 180.0);
+  EXPECT_DOUBLE_EQ(wrap_delta(Degrees(0.0), Degrees(0.0)).value(), 0.0);
 }
 
 TEST(AnglesTest, CircularDistanceSymmetric) {
-  EXPECT_DOUBLE_EQ(circular_distance(10.0, 350.0), 20.0);
-  EXPECT_DOUBLE_EQ(circular_distance(350.0, 10.0), 20.0);
-  EXPECT_DOUBLE_EQ(circular_distance(90.0, 270.0), 180.0);
+  EXPECT_DOUBLE_EQ(circular_distance(Degrees(10.0), Degrees(350.0)).value(), 20.0);
+  EXPECT_DOUBLE_EQ(circular_distance(Degrees(350.0), Degrees(10.0)).value(), 20.0);
+  EXPECT_DOUBLE_EQ(circular_distance(Degrees(90.0), Degrees(270.0)).value(), 180.0);
 }
 
 TEST(AnglesTest, OrientationVectorIsUnit) {
   for (double lon : {0.0, 45.0, 123.0, 359.0}) {
     for (double colat : {0.0, 30.0, 90.0, 180.0}) {
-      EXPECT_NEAR(orientation_vector(lon, colat).norm(), 1.0, 1e-12);
+      EXPECT_NEAR(orientation_vector(Degrees(lon), Degrees(colat)).norm(), 1.0, 1e-12);
     }
   }
 }
 
 TEST(AnglesTest, OrientationVectorPoles) {
-  const Vec3 north = orientation_vector(123.0, 0.0);
+  const Vec3 north = orientation_vector(Degrees(123.0), Degrees(0.0));
   EXPECT_NEAR(north.z, 1.0, 1e-12);
-  const Vec3 south = orientation_vector(7.0, 180.0);
+  const Vec3 south = orientation_vector(Degrees(7.0), Degrees(180.0));
   EXPECT_NEAR(south.z, -1.0, 1e-12);
 }
 
 TEST(AnglesTest, AngularDistanceKnownValues) {
-  const Vec3 a = orientation_vector(0.0, 90.0);
-  const Vec3 b = orientation_vector(90.0, 90.0);
-  EXPECT_NEAR(angular_distance_deg(a, b), 90.0, 1e-10);
-  EXPECT_NEAR(angular_distance_deg(a, a), 0.0, 1e-6);
-  const Vec3 c = orientation_vector(180.0, 90.0);
-  EXPECT_NEAR(angular_distance_deg(a, c), 180.0, 1e-10);
+  const Vec3 a = orientation_vector(Degrees(0.0), Degrees(90.0));
+  const Vec3 b = orientation_vector(Degrees(90.0), Degrees(90.0));
+  EXPECT_NEAR(angular_distance(a, b).value(), 90.0, 1e-10);
+  EXPECT_NEAR(angular_distance(a, a).value(), 0.0, 1e-6);
+  const Vec3 c = orientation_vector(Degrees(180.0), Degrees(90.0));
+  EXPECT_NEAR(angular_distance(a, c).value(), 180.0, 1e-10);
 }
 
 TEST(AnglesTest, SwitchingSpeedEq5) {
   // 30 degrees of arc in 0.5 s = 60 deg/s.
-  const Vec3 a = orientation_vector(0.0, 90.0);
-  const Vec3 b = orientation_vector(30.0, 90.0);
-  EXPECT_NEAR(switching_speed_deg_per_s(a, b, 0.5), 60.0, 1e-9);
-  EXPECT_THROW(switching_speed_deg_per_s(a, b, 0.0), std::invalid_argument);
+  const Vec3 a = orientation_vector(Degrees(0.0), Degrees(90.0));
+  const Vec3 b = orientation_vector(Degrees(30.0), Degrees(90.0));
+  EXPECT_NEAR(switching_speed_deg_per_s(a, b, Seconds(0.5)), 60.0, 1e-9);
+  EXPECT_THROW(switching_speed_deg_per_s(a, b, Seconds(0.0)), std::invalid_argument);
 }
 
 TEST(AnglesTest, DegRadRoundTrip) {
-  EXPECT_NEAR(rad_to_deg(deg_to_rad(123.4)), 123.4, 1e-12);
+  EXPECT_NEAR(to_degrees(Radians(to_radians(Degrees(123.4)).value())).value(), 123.4, 1e-12);
 }
 
 // ------------------------------------------------------------ EquirectPoint
 
 TEST(EquirectPointTest, MakeWrapsAndValidates) {
-  const auto p = EquirectPoint::make(370.0, 45.0);
+  const auto p = EquirectPoint::make(Degrees(370.0), Degrees(45.0));
   EXPECT_DOUBLE_EQ(p.x, 10.0);
-  EXPECT_THROW(EquirectPoint::make(0.0, 181.0), std::invalid_argument);
-  EXPECT_THROW(EquirectPoint::make(0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(EquirectPoint::make(Degrees(0.0), Degrees(181.0)), std::invalid_argument);
+  EXPECT_THROW(EquirectPoint::make(Degrees(0.0), Degrees(-1.0)), std::invalid_argument);
 }
 
 TEST(EquirectPointTest, WrappedDistanceHonoursSeam) {
-  const auto a = EquirectPoint::make(359.0, 90.0);
-  const auto b = EquirectPoint::make(1.0, 90.0);
+  const auto a = EquirectPoint::make(Degrees(359.0), Degrees(90.0));
+  const auto b = EquirectPoint::make(Degrees(1.0), Degrees(90.0));
   EXPECT_NEAR(wrapped_distance(a, b), 2.0, 1e-12);
-  const auto c = EquirectPoint::make(10.0, 80.0);
-  const auto d = EquirectPoint::make(10.0, 100.0);
+  const auto c = EquirectPoint::make(Degrees(10.0), Degrees(80.0));
+  const auto d = EquirectPoint::make(Degrees(10.0), Degrees(100.0));
   EXPECT_NEAR(wrapped_distance(c, d), 20.0, 1e-12);
 }
 
 TEST(EquirectPointTest, AngularVsWrappedAtEquator) {
   // At the equator (colat 90) the equirect metric matches the sphere.
-  const auto a = EquirectPoint::make(0.0, 90.0);
-  const auto b = EquirectPoint::make(40.0, 90.0);
-  EXPECT_NEAR(angular_distance(a, b), 40.0, 1e-9);
+  const auto a = EquirectPoint::make(Degrees(0.0), Degrees(90.0));
+  const auto b = EquirectPoint::make(Degrees(40.0), Degrees(90.0));
+  EXPECT_NEAR(angular_distance(a, b).value(), 40.0, 1e-9);
 }
 
 // -------------------------------------------------------------- LonInterval
 
 TEST(LonIntervalTest, ContainsWithWrap) {
-  const auto arc = LonInterval::make(350.0, 30.0);  // [350, 20]
-  EXPECT_TRUE(arc.contains(355.0));
-  EXPECT_TRUE(arc.contains(10.0));
-  EXPECT_FALSE(arc.contains(30.0));
-  EXPECT_FALSE(arc.contains(180.0));
+  const auto arc = LonInterval::make(Degrees(350.0), Degrees(30.0));  // [350, 20]
+  EXPECT_TRUE(arc.contains(Degrees(355.0)));
+  EXPECT_TRUE(arc.contains(Degrees(10.0)));
+  EXPECT_FALSE(arc.contains(Degrees(30.0)));
+  EXPECT_FALSE(arc.contains(Degrees(180.0)));
 }
 
 TEST(LonIntervalTest, FullCircleContainsEverything) {
-  const auto arc = LonInterval::make(10.0, 360.0);
-  EXPECT_TRUE(arc.contains(0.0));
-  EXPECT_TRUE(arc.contains(200.0));
+  const auto arc = LonInterval::make(Degrees(10.0), Degrees(360.0));
+  EXPECT_TRUE(arc.contains(Degrees(0.0)));
+  EXPECT_TRUE(arc.contains(Degrees(200.0)));
 }
 
 TEST(LonIntervalTest, UnitedPicksSmallestCover) {
-  const auto a = LonInterval::make(350.0, 20.0);  // [350, 10]
-  const auto b = LonInterval::make(20.0, 10.0);   // [20, 30]
+  const auto a = LonInterval::make(Degrees(350.0), Degrees(20.0));  // [350, 10]
+  const auto b = LonInterval::make(Degrees(20.0), Degrees(10.0));   // [20, 30]
   const auto u = a.united(b);
-  EXPECT_TRUE(u.contains(355.0));
-  EXPECT_TRUE(u.contains(25.0));
+  EXPECT_TRUE(u.contains(Degrees(355.0)));
+  EXPECT_TRUE(u.contains(Degrees(25.0)));
   EXPECT_LE(u.width, 40.0 + 1e-9);
 }
 
@@ -128,19 +128,19 @@ TEST(LonIntervalTest, MinimalCoveringArcEdgeCases) {
   const auto empty = minimal_covering_arc({});
   EXPECT_DOUBLE_EQ(empty.width, 0.0);
   // Identical points: still zero width.
-  const auto same = minimal_covering_arc({90.0, 90.0, 90.0});
+  const auto same = minimal_covering_arc({Degrees(90.0), Degrees(90.0), Degrees(90.0)});
   EXPECT_DOUBLE_EQ(same.width, 0.0);
   EXPECT_DOUBLE_EQ(same.lo, 90.0);
   // Evenly spread points: the arc is 360 minus one gap.
-  const auto spread = minimal_covering_arc({0.0, 90.0, 180.0, 270.0});
+  const auto spread = minimal_covering_arc({Degrees(0.0), Degrees(90.0), Degrees(180.0), Degrees(270.0)});
   EXPECT_NEAR(spread.width, 270.0, 1e-9);
 }
 
 TEST(LonIntervalTest, MinimalCoveringArc) {
-  const auto arc = minimal_covering_arc({10.0, 20.0, 350.0});
+  const auto arc = minimal_covering_arc({Degrees(10.0), Degrees(20.0), Degrees(350.0)});
   EXPECT_NEAR(arc.lo, 350.0, 1e-9);
   EXPECT_NEAR(arc.width, 30.0, 1e-9);
-  const auto single = minimal_covering_arc({42.0});
+  const auto single = minimal_covering_arc({Degrees(42.0)});
   EXPECT_NEAR(single.lo, 42.0, 1e-12);
   EXPECT_DOUBLE_EQ(single.width, 0.0);
 }
@@ -149,47 +149,47 @@ TEST(LonIntervalTest, MinimalCoveringArc) {
 
 TEST(EquirectRectTest, ContainsAcrossSeam) {
   const auto rect =
-      EquirectRect::make(LonInterval::make(330.0, 60.0), 40.0, 140.0);
-  EXPECT_TRUE(rect.contains(EquirectPoint::make(350.0, 90.0)));
-  EXPECT_TRUE(rect.contains(EquirectPoint::make(20.0, 90.0)));
-  EXPECT_FALSE(rect.contains(EquirectPoint::make(60.0, 90.0)));
-  EXPECT_FALSE(rect.contains(EquirectPoint::make(350.0, 20.0)));
+      EquirectRect::make(LonInterval::make(Degrees(330.0), Degrees(60.0)), Degrees(40.0), Degrees(140.0));
+  EXPECT_TRUE(rect.contains(EquirectPoint::make(Degrees(350.0), Degrees(90.0))));
+  EXPECT_TRUE(rect.contains(EquirectPoint::make(Degrees(20.0), Degrees(90.0))));
+  EXPECT_FALSE(rect.contains(EquirectPoint::make(Degrees(60.0), Degrees(90.0))));
+  EXPECT_FALSE(rect.contains(EquirectPoint::make(Degrees(350.0), Degrees(20.0))));
 }
 
 TEST(EquirectRectTest, AreaFraction) {
-  const auto full = EquirectRect::make(LonInterval::make(0.0, 360.0), 0.0, 180.0);
+  const auto full = EquirectRect::make(LonInterval::make(Degrees(0.0), Degrees(360.0)), Degrees(0.0), Degrees(180.0));
   EXPECT_NEAR(full.area_fraction(), 1.0, 1e-12);
-  const auto fov = EquirectRect::make(LonInterval::make(0.0, 100.0), 40.0, 140.0);
+  const auto fov = EquirectRect::make(LonInterval::make(Degrees(0.0), Degrees(100.0)), Degrees(40.0), Degrees(140.0));
   EXPECT_NEAR(fov.area_fraction(), 100.0 * 100.0 / (360.0 * 180.0), 1e-12);
 }
 
 TEST(EquirectRectTest, CoverageOfSelfIsOne) {
-  const auto rect = EquirectRect::make(LonInterval::make(300.0, 90.0), 30.0, 120.0);
+  const auto rect = EquirectRect::make(LonInterval::make(Degrees(300.0), Degrees(90.0)), Degrees(30.0), Degrees(120.0));
   EXPECT_NEAR(rect.coverage_of(rect), 1.0, 1e-9);
 }
 
 TEST(EquirectRectTest, CoverageOfDisjointIsZero) {
-  const auto a = EquirectRect::make(LonInterval::make(0.0, 50.0), 30.0, 120.0);
-  const auto b = EquirectRect::make(LonInterval::make(120.0, 50.0), 30.0, 120.0);
+  const auto a = EquirectRect::make(LonInterval::make(Degrees(0.0), Degrees(50.0)), Degrees(30.0), Degrees(120.0));
+  const auto b = EquirectRect::make(LonInterval::make(Degrees(120.0), Degrees(50.0)), Degrees(30.0), Degrees(120.0));
   EXPECT_DOUBLE_EQ(a.coverage_of(b), 0.0);
 }
 
 TEST(EquirectRectTest, PartialCoverageAcrossSeam) {
-  const auto big = EquirectRect::make(LonInterval::make(330.0, 60.0), 0.0, 180.0);
-  const auto small = EquirectRect::make(LonInterval::make(350.0, 80.0), 0.0, 180.0);
+  const auto big = EquirectRect::make(LonInterval::make(Degrees(330.0), Degrees(60.0)), Degrees(0.0), Degrees(180.0));
+  const auto small = EquirectRect::make(LonInterval::make(Degrees(350.0), Degrees(80.0)), Degrees(0.0), Degrees(180.0));
   // small = [350, 70]; big = [330, 30]; overlap = [350, 30] = 40 of 80.
   EXPECT_NEAR(big.coverage_of(small), 0.5, 1e-9);
 }
 
 TEST(EquirectRectTest, VerticalPartialCoverage) {
-  const auto a = EquirectRect::make(LonInterval::make(0.0, 100.0), 0.0, 90.0);
-  const auto b = EquirectRect::make(LonInterval::make(0.0, 100.0), 45.0, 135.0);
+  const auto a = EquirectRect::make(LonInterval::make(Degrees(0.0), Degrees(100.0)), Degrees(0.0), Degrees(90.0));
+  const auto b = EquirectRect::make(LonInterval::make(Degrees(0.0), Degrees(100.0)), Degrees(45.0), Degrees(135.0));
   EXPECT_NEAR(a.coverage_of(b), 0.5, 1e-9);
 }
 
 TEST(EquirectRectTest, UnitedCoversBoth) {
-  const auto a = EquirectRect::make(LonInterval::make(350.0, 20.0), 40.0, 80.0);
-  const auto b = EquirectRect::make(LonInterval::make(30.0, 20.0), 60.0, 120.0);
+  const auto a = EquirectRect::make(LonInterval::make(Degrees(350.0), Degrees(20.0)), Degrees(40.0), Degrees(80.0));
+  const auto b = EquirectRect::make(LonInterval::make(Degrees(30.0), Degrees(20.0)), Degrees(60.0), Degrees(120.0));
   const auto u = a.united(b);
   EXPECT_GE(u.coverage_of(a), 1.0 - 1e-9);
   EXPECT_GE(u.coverage_of(b), 1.0 - 1e-9);
@@ -198,32 +198,32 @@ TEST(EquirectRectTest, UnitedCoversBoth) {
 // ---------------------------------------------------------------- Viewport
 
 TEST(ViewportTest, AreaCenteredOnViewingCenter) {
-  const Viewport vp(EquirectPoint::make(180.0, 90.0));
+  const Viewport vp(EquirectPoint::make(Degrees(180.0), Degrees(90.0)));
   const auto area = vp.area();
   EXPECT_NEAR(area.lon.width, 100.0, 1e-12);
   EXPECT_NEAR(area.y_lo, 40.0, 1e-12);
   EXPECT_NEAR(area.y_hi, 140.0, 1e-12);
-  EXPECT_TRUE(vp.contains(EquirectPoint::make(180.0, 90.0)));
-  EXPECT_FALSE(vp.contains(EquirectPoint::make(0.0, 90.0)));
+  EXPECT_TRUE(vp.contains(EquirectPoint::make(Degrees(180.0), Degrees(90.0))));
+  EXPECT_FALSE(vp.contains(EquirectPoint::make(Degrees(0.0), Degrees(90.0))));
 }
 
 TEST(ViewportTest, ClampsAtPoles) {
-  const Viewport vp(EquirectPoint::make(0.0, 10.0));
+  const Viewport vp(EquirectPoint::make(Degrees(0.0), Degrees(10.0)));
   const auto area = vp.area();
   EXPECT_DOUBLE_EQ(area.y_lo, 0.0);
   EXPECT_NEAR(area.y_hi, 60.0, 1e-12);
 }
 
 TEST(ViewportTest, WrapsAcrossSeam) {
-  const Viewport vp(EquirectPoint::make(10.0, 90.0));
-  EXPECT_TRUE(vp.contains(EquirectPoint::make(330.0, 90.0)));
-  EXPECT_FALSE(vp.contains(EquirectPoint::make(300.0, 90.0)));
+  const Viewport vp(EquirectPoint::make(Degrees(10.0), Degrees(90.0)));
+  EXPECT_TRUE(vp.contains(EquirectPoint::make(Degrees(330.0), Degrees(90.0))));
+  EXPECT_FALSE(vp.contains(EquirectPoint::make(Degrees(300.0), Degrees(90.0))));
 }
 
 TEST(ViewportTest, InvalidFovThrows) {
-  EXPECT_THROW(Viewport(EquirectPoint::make(0.0, 90.0), 0.0, 100.0),
+  EXPECT_THROW(Viewport(EquirectPoint::make(Degrees(0.0), Degrees(90.0)), Degrees(0.0), Degrees(100.0)),
                std::invalid_argument);
-  EXPECT_THROW(Viewport(EquirectPoint::make(0.0, 90.0), 100.0, 200.0),
+  EXPECT_THROW(Viewport(EquirectPoint::make(Degrees(0.0), Degrees(90.0)), Degrees(100.0), Degrees(200.0)),
                std::invalid_argument);
 }
 
@@ -238,7 +238,7 @@ TEST(TileGridTest, PaperGridDimensions) {
 
 TEST(TileGridTest, TileAtAndAreaConsistent) {
   const TileGrid grid(4, 8);
-  const auto p = EquirectPoint::make(100.0, 70.0);
+  const auto p = EquirectPoint::make(Degrees(100.0), Degrees(70.0));
   const TileIndex t = grid.tile_at(p);
   EXPECT_EQ(t.row, 1u);
   EXPECT_EQ(t.col, 2u);
@@ -247,10 +247,10 @@ TEST(TileGridTest, TileAtAndAreaConsistent) {
 
 TEST(TileGridTest, TileAtBoundaries) {
   const TileGrid grid(4, 8);
-  const auto corner = grid.tile_at(EquirectPoint::make(0.0, 0.0));
+  const auto corner = grid.tile_at(EquirectPoint::make(Degrees(0.0), Degrees(0.0)));
   EXPECT_EQ(corner.row, 0u);
   EXPECT_EQ(corner.col, 0u);
-  const auto bottom = grid.tile_at(EquirectPoint::make(359.9, 180.0));
+  const auto bottom = grid.tile_at(EquirectPoint::make(Degrees(359.9), Degrees(180.0)));
   EXPECT_EQ(bottom.row, 3u);
   EXPECT_EQ(bottom.col, 7u);
 }
@@ -260,15 +260,15 @@ TEST(TileGridTest, FovCoversNineTilesWhenRowAligned) {
   // 3x3 = 9 tiles — the paper's "nine FoV tiles". (Centered exactly on the
   // equator it grazes a fourth row: 40..140 touches rows 0..3.)
   const TileGrid grid(4, 8);
-  const Viewport aligned(EquirectPoint::make(112.5, 95.0));  // y in [45, 145]
+  const Viewport aligned(EquirectPoint::make(Degrees(112.5), Degrees(95.0)));  // y in [45, 145]
   EXPECT_EQ(grid.tiles_covering(aligned).size(), 9u);
-  const Viewport centered(EquirectPoint::make(112.5, 90.0));  // y in [40, 140]
+  const Viewport centered(EquirectPoint::make(Degrees(112.5), Degrees(90.0)));  // y in [40, 140]
   EXPECT_EQ(grid.tiles_covering(centered).size(), 12u);
 }
 
 TEST(TileGridTest, CoveringRectWrapsColumns) {
   const TileGrid grid(4, 8);
-  const Viewport vp(EquirectPoint::make(5.0, 95.0));  // [315, 55] in lon
+  const Viewport vp(EquirectPoint::make(Degrees(5.0), Degrees(95.0)));  // [315, 55] in lon
   const auto rect = grid.covering_rect(vp.area());
   EXPECT_EQ(rect.col_count, 3u);
   EXPECT_EQ(rect.col_lo, 7u);
@@ -288,7 +288,7 @@ TEST(TileGridTest, CoveringRectExactTileBoundaries) {
   const TileGrid grid(4, 8);
   // Exactly one tile: [45, 90] x [45, 90].
   const auto rect = grid.covering_rect(
-      EquirectRect::make(LonInterval::make(45.0, 45.0), 45.0, 90.0));
+      EquirectRect::make(LonInterval::make(Degrees(45.0), Degrees(45.0)), Degrees(45.0), Degrees(90.0)));
   EXPECT_EQ(rect.tile_count(), 1u);
   EXPECT_EQ(rect.col_lo, 1u);
   EXPECT_EQ(rect.row_lo, 1u);
@@ -296,7 +296,7 @@ TEST(TileGridTest, CoveringRectExactTileBoundaries) {
 
 TEST(TileGridTest, SnappedAreaContainsOriginal) {
   const TileGrid grid(4, 8);
-  const auto area = EquirectRect::make(LonInterval::make(100.0, 80.0), 50.0, 130.0);
+  const auto area = EquirectRect::make(LonInterval::make(Degrees(100.0), Degrees(80.0)), Degrees(50.0), Degrees(130.0));
   const auto snapped = grid.snapped_area(area);
   EXPECT_GE(snapped.coverage_of(area), 1.0 - 1e-9);
   EXPECT_GE(snapped.area_deg2(), area.area_deg2());
@@ -305,7 +305,7 @@ TEST(TileGridTest, SnappedAreaContainsOriginal) {
 TEST(TileGridTest, FullFrameRect) {
   const TileGrid grid(4, 8);
   const auto rect = grid.covering_rect(
-      EquirectRect::make(LonInterval::make(0.0, 360.0), 0.0, 180.0));
+      EquirectRect::make(LonInterval::make(Degrees(0.0), Degrees(360.0)), Degrees(0.0), Degrees(180.0)));
   EXPECT_EQ(rect.tile_count(), 32u);
   EXPECT_NEAR(grid.rect_area(rect).area_fraction(), 1.0, 1e-12);
 }
@@ -325,7 +325,7 @@ TEST_P(RectCoverageProperty, IntersectionIdentityAndBounds) {
       const double width = rng.uniform(5.0, 355.0);
       const double y0 = rng.uniform(0.0, 170.0);
       const double y1 = rng.uniform(y0 + 1.0, 180.0);
-      return EquirectRect::make(LonInterval::make(lo, width), y0, y1);
+      return EquirectRect::make(LonInterval::make(Degrees(lo), Degrees(width)), Degrees(y0), Degrees(y1));
     };
     const EquirectRect a = random_rect();
     const EquirectRect b = random_rect();
@@ -357,7 +357,7 @@ TEST_P(CoveringRectProperty, CoversAndStaysInGrid) {
     const double width = rng.uniform(1.0, 359.0);
     const double y0 = rng.uniform(0.0, 178.0);
     const double y1 = rng.uniform(y0 + 1.0, 180.0);
-    const auto area = EquirectRect::make(LonInterval::make(lo, width), y0, y1);
+    const auto area = EquirectRect::make(LonInterval::make(Degrees(lo), Degrees(width)), Degrees(y0), Degrees(y1));
 
     const TileRect full = grid.covering_rect(area);
     ASSERT_LE(full.row_lo + full.row_count, grid.rows());
@@ -379,7 +379,7 @@ TEST(TileGridTest, FtileBlockGridGeometry) {
   EXPECT_EQ(blocks.tile_count(), 450u);
   EXPECT_DOUBLE_EQ(blocks.tile_width_deg(), 12.0);
   EXPECT_DOUBLE_EQ(blocks.tile_height_deg(), 12.0);
-  const Viewport vp(EquirectPoint::make(180.0, 90.0));
+  const Viewport vp(EquirectPoint::make(Degrees(180.0), Degrees(90.0)));
   const auto rect = blocks.covering_rect(vp.area());
   // A 100-degree FoV spans ceil-ish 100/12 = 9..10 blocks per axis.
   EXPECT_GE(rect.col_count, 9u);
@@ -392,14 +392,14 @@ TEST(TileGridTest, SingleTileGridDegenerate) {
   const TileGrid grid(1, 1);
   EXPECT_EQ(grid.tile_count(), 1u);
   const auto rect = grid.covering_rect(
-      EquirectRect::make(LonInterval::make(10.0, 50.0), 20.0, 80.0));
+      EquirectRect::make(LonInterval::make(Degrees(10.0), Degrees(50.0)), Degrees(20.0), Degrees(80.0)));
   EXPECT_EQ(rect.tile_count(), 1u);
   EXPECT_NEAR(grid.rect_area(rect).area_fraction(), 1.0, 1e-12);
 }
 
 TEST(TileGridTest, OverlapThresholdValidation) {
   const TileGrid grid(4, 8);
-  const auto area = EquirectRect::make(LonInterval::make(0.0, 100.0), 40.0, 140.0);
+  const auto area = EquirectRect::make(LonInterval::make(Degrees(0.0), Degrees(100.0)), Degrees(40.0), Degrees(140.0));
   EXPECT_THROW(grid.covering_rect(area, -0.1), std::invalid_argument);
   EXPECT_THROW(grid.covering_rect(area, 1.0), std::invalid_argument);
   // Threshold 0 reduces to the exact covering rect.

@@ -8,6 +8,7 @@
 #include "power/device_models.h"
 #include "power/energy.h"
 #include "power/measurement.h"
+#include "util/units.h"
 
 namespace ps360::power {
 namespace {
@@ -17,20 +18,23 @@ namespace {
 TEST(DeviceModelTest, TableOneValuesTranscribed) {
   const auto& pixel3 = device_model(Device::kPixel3);
   EXPECT_DOUBLE_EQ(pixel3.transmit_mw, 1429.08);
-  EXPECT_DOUBLE_EQ(pixel3.decode_mw(DecodeProfile::kCtile, 0.0), 574.89);
-  EXPECT_NEAR(pixel3.decode_mw(DecodeProfile::kCtile, 30.0), 574.89 + 15.46 * 30.0,
-              1e-9);
-  EXPECT_NEAR(pixel3.decode_mw(DecodeProfile::kPtile, 30.0), 140.73 + 5.96 * 30.0,
-              1e-9);
-  EXPECT_NEAR(pixel3.render_mw(30.0), 57.76 + 4.19 * 30.0, 1e-9);
+  EXPECT_DOUBLE_EQ(pixel3.decode_power(DecodeProfile::kCtile, 0.0).value(),
+                   util::milliwatts(574.89).value());
+  EXPECT_NEAR(pixel3.decode_power(DecodeProfile::kCtile, 30.0).value(),
+              util::milliwatts(574.89 + 15.46 * 30.0).value(), 1e-12);
+  EXPECT_NEAR(pixel3.decode_power(DecodeProfile::kPtile, 30.0).value(),
+              util::milliwatts(140.73 + 5.96 * 30.0).value(), 1e-12);
+  EXPECT_NEAR(pixel3.render_power(30.0).value(),
+              util::milliwatts(57.76 + 4.19 * 30.0).value(), 1e-12);
 
   const auto& nexus = device_model(Device::kNexus5X);
   EXPECT_DOUBLE_EQ(nexus.transmit_mw, 1709.12);
-  EXPECT_NEAR(nexus.decode_mw(DecodeProfile::kFtile, 10.0), 832.45 + 153.1, 1e-9);
+  EXPECT_NEAR(nexus.decode_power(DecodeProfile::kFtile, 10.0).value(),
+              util::milliwatts(832.45 + 153.1).value(), 1e-12);
 
   const auto& s20 = device_model(Device::kGalaxyS20);
   EXPECT_DOUBLE_EQ(s20.transmit_mw, 1527.39);
-  EXPECT_NEAR(s20.decode_mw(DecodeProfile::kNontile, 30.0), 305.55 + 11.41 * 30.0,
+  EXPECT_NEAR(s20.decode_power(DecodeProfile::kNontile, 30.0).value() * 1e3, 305.55 + 11.41 * 30.0,
               1e-9);
 }
 
@@ -40,10 +44,10 @@ TEST(DeviceModelTest, PtileDecodesCheapestAtEveryFrameRate) {
   for (Device device : kAllDevices) {
     const auto& model = device_model(device);
     for (double fps : {15.0, 21.0, 30.0}) {
-      const double ptile = model.decode_mw(DecodeProfile::kPtile, fps);
-      EXPECT_LT(ptile, model.decode_mw(DecodeProfile::kCtile, fps));
-      EXPECT_LT(ptile, model.decode_mw(DecodeProfile::kFtile, fps));
-      EXPECT_LT(ptile, model.decode_mw(DecodeProfile::kNontile, fps));
+      const util::Watts ptile = model.decode_power(DecodeProfile::kPtile, fps);
+      EXPECT_LT(ptile, model.decode_power(DecodeProfile::kCtile, fps));
+      EXPECT_LT(ptile, model.decode_power(DecodeProfile::kFtile, fps));
+      EXPECT_LT(ptile, model.decode_power(DecodeProfile::kNontile, fps));
     }
   }
 }
@@ -54,7 +58,8 @@ TEST(DeviceModelTest, NamesAreStable) {
 }
 
 TEST(DeviceModelTest, NegativeFpsRejected) {
-  EXPECT_THROW(device_model(Device::kPixel3).render_mw(-1.0), std::invalid_argument);
+  EXPECT_THROW(device_model(Device::kPixel3).render_power(-1.0),
+               std::invalid_argument);
 }
 
 // ----------------------------------------------------------------- Energy
@@ -62,7 +67,8 @@ TEST(DeviceModelTest, NegativeFpsRejected) {
 TEST(EnergyTest, SegmentEnergyEq1) {
   const auto& pixel3 = device_model(Device::kPixel3);
   const SegmentEnergy e =
-      segment_energy(pixel3, DecodeProfile::kPtile, 0.5, 30.0, 1.0);
+      segment_energy(pixel3, DecodeProfile::kPtile, util::Seconds(0.5), 30.0,
+                     util::Seconds(1.0));
   EXPECT_NEAR(e.transmit_mj, 1429.08 * 0.5, 1e-9);
   EXPECT_NEAR(e.decode_mj, (140.73 + 5.96 * 30.0) * 1.0, 1e-9);
   EXPECT_NEAR(e.render_mj, (57.76 + 4.19 * 30.0) * 1.0, 1e-9);
@@ -71,9 +77,11 @@ TEST(EnergyTest, SegmentEnergyEq1) {
 
 TEST(EnergyTest, LowerFrameRateLowersProcessingEnergy) {
   const auto& pixel3 = device_model(Device::kPixel3);
-  const SegmentEnergy full = segment_energy(pixel3, DecodeProfile::kPtile, 0.5, 30.0, 1.0);
+  const SegmentEnergy full = segment_energy(pixel3, DecodeProfile::kPtile, util::Seconds(0.5), 30.0,
+                     util::Seconds(1.0));
   const SegmentEnergy reduced =
-      segment_energy(pixel3, DecodeProfile::kPtile, 0.5, 21.0, 1.0);
+      segment_energy(pixel3, DecodeProfile::kPtile, util::Seconds(0.5), 21.0,
+                     util::Seconds(1.0));
   EXPECT_LT(reduced.decode_mj, full.decode_mj);
   EXPECT_LT(reduced.render_mj, full.render_mj);
   EXPECT_DOUBLE_EQ(reduced.transmit_mj, full.transmit_mj);
@@ -89,11 +97,14 @@ TEST(EnergyTest, AccumulationOperator) {
 
 TEST(EnergyTest, RejectsInvalidInputs) {
   const auto& pixel3 = device_model(Device::kPixel3);
-  EXPECT_THROW(segment_energy(pixel3, DecodeProfile::kPtile, -0.1, 30.0, 1.0),
+  EXPECT_THROW(segment_energy(pixel3, DecodeProfile::kPtile, util::Seconds(-0.1), 30.0,
+                     util::Seconds(1.0)),
                std::invalid_argument);
-  EXPECT_THROW(segment_energy(pixel3, DecodeProfile::kPtile, 0.1, 0.0, 1.0),
+  EXPECT_THROW(segment_energy(pixel3, DecodeProfile::kPtile, util::Seconds(0.1), 0.0,
+                     util::Seconds(1.0)),
                std::invalid_argument);
-  EXPECT_THROW(segment_energy(pixel3, DecodeProfile::kPtile, 0.1, 30.0, 0.0),
+  EXPECT_THROW(segment_energy(pixel3, DecodeProfile::kPtile, util::Seconds(0.1), 30.0,
+                     util::Seconds(0.0)),
                std::invalid_argument);
 }
 

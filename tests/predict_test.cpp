@@ -25,9 +25,7 @@ HeadTrace linear_motion_trace(double x0, double speed_x, double y0, double speed
   const double dt = 1.0 / rate_hz;
   for (double t = 0.0; t <= duration + 1e-9; t += dt) {
     samples.push_back(HeadSample{
-        t, geometry::EquirectPoint::make(
-               x0 + speed_x * t,
-               std::clamp(y0 + speed_y * t, 0.0, 180.0))});
+        t, geometry::EquirectPoint::make(geometry::Degrees(x0 + speed_x * t), geometry::Degrees(std::clamp(y0 + speed_y * t, 0.0, 180.0)))});
   }
   return HeadTrace(1, 0, std::move(samples));
 }
@@ -47,7 +45,7 @@ TEST(ViewportPredictorTest, HandlesWrapDuringHistory) {
   const ViewportPredictor predictor;
   // At t=2 the center is at 350+30=20 (wrapped); at t=3 expect 35.
   const auto predicted = predictor.predict(trace, 2.0, 3.0);
-  EXPECT_LT(geometry::circular_distance(predicted.x, 35.0), 2.0);
+  EXPECT_LT(geometry::circular_distance(geometry::Degrees(predicted.x), geometry::Degrees(35.0)).value(), 2.0);
 }
 
 TEST(ViewportPredictorTest, StationaryGazeStaysPut) {

@@ -25,9 +25,8 @@ std::vector<EquirectPoint> blob(double cx, double cy, double radius, std::size_t
   std::vector<EquirectPoint> points;
   points.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    points.push_back(EquirectPoint::make(cx + rng.uniform(-radius, radius),
-                                         std::clamp(cy + rng.uniform(-radius, radius),
-                                                    0.0, 180.0)));
+    points.push_back(EquirectPoint::make(geometry::Degrees(cx + rng.uniform(-radius, radius)), geometry::Degrees(std::clamp(cy + rng.uniform(-radius, radius),
+                                                    0.0, 180.0))));
   }
   return points;
 }
@@ -35,16 +34,16 @@ std::vector<EquirectPoint> blob(double cx, double cy, double radius, std::size_t
 // ------------------------------------------------------------------ kmeans
 
 TEST(KMeansTest, CentroidCircularMeanAcrossSeam) {
-  const std::vector<EquirectPoint> points = {EquirectPoint::make(355.0, 90.0),
-                                             EquirectPoint::make(5.0, 90.0)};
+  const std::vector<EquirectPoint> points = {EquirectPoint::make(geometry::Degrees(355.0), geometry::Degrees(90.0)),
+                                             EquirectPoint::make(geometry::Degrees(5.0), geometry::Degrees(90.0))};
   const auto c = centroid(points, {0, 1}, {});
-  EXPECT_LT(geometry::circular_distance(c.x, 0.0), 1e-9);
+  EXPECT_LT(geometry::circular_distance(geometry::Degrees(c.x), geometry::Degrees(0.0)).value(), 1e-9);
   EXPECT_DOUBLE_EQ(c.y, 90.0);
 }
 
 TEST(KMeansTest, WeightedCentroidLeansTowardWeight) {
-  const std::vector<EquirectPoint> points = {EquirectPoint::make(10.0, 90.0),
-                                             EquirectPoint::make(30.0, 90.0)};
+  const std::vector<EquirectPoint> points = {EquirectPoint::make(geometry::Degrees(10.0), geometry::Degrees(90.0)),
+                                             EquirectPoint::make(geometry::Degrees(30.0), geometry::Degrees(90.0))};
   const auto c = centroid(points, {0, 1}, {3.0, 1.0});
   EXPECT_LT(c.x, 20.0);
 }
@@ -88,7 +87,7 @@ TEST(KMeansTest, SplitAcrossSeam) {
 }
 
 TEST(KMeansTest, InertiaNonNegativeAndZeroForIdenticalPoints) {
-  const std::vector<EquirectPoint> same(5, EquirectPoint::make(42.0, 90.0));
+  const std::vector<EquirectPoint> same(5, EquirectPoint::make(geometry::Degrees(42.0), geometry::Degrees(90.0)));
   util::Rng rng(8);
   const auto result = kmeans(same, {}, 1, rng);
   EXPECT_NEAR(result.inertia, 0.0, 1e-12);
@@ -100,7 +99,7 @@ TEST(KMeansTest, ValidatesArguments) {
   EXPECT_THROW(kmeans(points, {}, 0, rng), std::invalid_argument);
   EXPECT_THROW(kmeans(points, {}, 4, rng), std::invalid_argument);
   EXPECT_THROW(kmeans(points, {1.0, 1.0}, 2, rng), std::invalid_argument);
-  EXPECT_THROW(kmeans_split2({EquirectPoint::make(0.0, 90.0)}), std::invalid_argument);
+  EXPECT_THROW(kmeans_split2({EquirectPoint::make(geometry::Degrees(0.0), geometry::Degrees(90.0))}), std::invalid_argument);
 }
 
 TEST(KMeansTest, KEqualsNPinsEachPoint) {
@@ -145,7 +144,7 @@ TEST(ClustererTest, DiameterCapEnforcedRecursively) {
   // bounded.
   std::vector<EquirectPoint> chain;
   for (int i = 0; i < 30; ++i)
-    chain.push_back(EquirectPoint::make(40.0 + 8.0 * i, 90.0));  // spacing < delta
+    chain.push_back(EquirectPoint::make(geometry::Degrees(40.0 + 8.0 * i), geometry::Degrees(90.0)));  // spacing < delta
   ClustererConfig config;
   config.delta = 11.25;
   config.sigma = 45.0;
@@ -160,7 +159,7 @@ TEST(ClustererTest, DiameterCapEnforcedRecursively) {
 TEST(ClustererTest, LiteralSingleSplitModeMatchesPseudocode) {
   std::vector<EquirectPoint> chain;
   for (int i = 0; i < 30; ++i)
-    chain.push_back(EquirectPoint::make(40.0 + 8.0 * i, 90.0));
+    chain.push_back(EquirectPoint::make(geometry::Degrees(40.0 + 8.0 * i), geometry::Degrees(90.0)));
   ClustererConfig config;
   config.recursive_split = false;
   const ViewClusterer clusterer(config);
@@ -178,9 +177,9 @@ TEST(ClustererTest, SeamStraddlingBlobStaysTogether) {
 }
 
 TEST(ClustererTest, SingletonsRemainSingletons) {
-  const std::vector<EquirectPoint> sparse = {EquirectPoint::make(0.0, 30.0),
-                                             EquirectPoint::make(120.0, 90.0),
-                                             EquirectPoint::make(240.0, 150.0)};
+  const std::vector<EquirectPoint> sparse = {EquirectPoint::make(geometry::Degrees(0.0), geometry::Degrees(30.0)),
+                                             EquirectPoint::make(geometry::Degrees(120.0), geometry::Degrees(90.0)),
+                                             EquirectPoint::make(geometry::Degrees(240.0), geometry::Degrees(150.0))};
   const ViewClusterer clusterer;
   const auto clusters = clusterer.cluster(sparse);
   EXPECT_EQ(clusters.size(), 3u);
@@ -257,7 +256,7 @@ TEST(PtileBuilderTest, PtileIsGridAligned) {
   const auto& ptile = result.ptiles[0];
   // Footprint area equals the tile-rect area.
   EXPECT_NEAR(ptile.area.area_deg2(),
-              ptile.rect.tile_count() * 45.0 * 45.0, 1e-6);
+              static_cast<double>(ptile.rect.tile_count()) * 45.0 * 45.0, 1e-6);
 }
 
 TEST(PtileBuilderTest, CoveringQueryFindsPtile) {
@@ -265,8 +264,8 @@ TEST(PtileBuilderTest, CoveringQueryFindsPtile) {
   const auto centers = blob(120.0, 95.0, 3.0, 10, 26);
   const auto result = builder.build(centers);
   ASSERT_FALSE(result.ptiles.empty());
-  EXPECT_NE(result.covering(Viewport(EquirectPoint::make(120.0, 95.0))), nullptr);
-  EXPECT_EQ(result.covering(Viewport(EquirectPoint::make(300.0, 95.0))), nullptr);
+  EXPECT_NE(result.covering(Viewport(EquirectPoint::make(geometry::Degrees(120.0), geometry::Degrees(95.0)))), nullptr);
+  EXPECT_EQ(result.covering(Viewport(EquirectPoint::make(geometry::Degrees(300.0), geometry::Degrees(95.0)))), nullptr);
 }
 
 TEST(PtileBuilderTest, BackgroundBlocksTileTheComplement) {
@@ -294,7 +293,7 @@ TEST(PtileBuilderTest, FullWidthPtileHasNoRingBlock) {
   config.clustering.delta = 90.0;
   const PtileBuilder builder(config);
   std::vector<EquirectPoint> centers;
-  for (int i = 0; i < 8; ++i) centers.push_back(EquirectPoint::make(i * 45.0, 90.0));
+  for (int i = 0; i < 8; ++i) centers.push_back(EquirectPoint::make(geometry::Degrees(i * 45.0), geometry::Degrees(90.0)));
   const auto result = builder.build(centers);
   ASSERT_EQ(result.ptiles.size(), 1u);
   const auto blocks = builder.background_block_areas(result.ptiles[0]);
@@ -326,7 +325,7 @@ TEST(FtileLayoutTest, ViewportOverlapsFewTiles) {
   // subset of the ten tiles.
   const auto centers = blob(120.0, 90.0, 8.0, 30, 32);
   const FtileLayout layout(centers, FtileLayoutConfig{});
-  const auto selected = layout.tiles_overlapping(Viewport(EquirectPoint::make(120.0, 90.0)));
+  const auto selected = layout.tiles_overlapping(Viewport(EquirectPoint::make(geometry::Degrees(120.0), geometry::Degrees(90.0))));
   EXPECT_GE(selected.size(), 1u);
   EXPECT_LT(selected.size(), layout.tile_count());
 }
@@ -334,7 +333,7 @@ TEST(FtileLayoutTest, ViewportOverlapsFewTiles) {
 TEST(FtileLayoutTest, SelectedTilesCoverTheViewport) {
   const auto centers = blob(200.0, 100.0, 8.0, 30, 33);
   const FtileLayout layout(centers, FtileLayoutConfig{});
-  const Viewport vp(EquirectPoint::make(200.0, 100.0));
+  const Viewport vp(EquirectPoint::make(geometry::Degrees(200.0), geometry::Degrees(100.0)));
   // Default selection skips tiles the FoV merely grazes, so coverage is
   // high but can fall short of exact; a zero threshold covers exactly.
   const auto selected = layout.tiles_overlapping(vp);
@@ -356,9 +355,9 @@ TEST(FtileLayoutTest, DeterministicForSeed) {
 
 TEST(ViewHeatmapTest, CentersAndTotals) {
   ViewHeatmap heatmap(18, 36);  // 10-degree cells
-  heatmap.add_center(EquirectPoint::make(95.0, 95.0));
-  heatmap.add_center(EquirectPoint::make(95.0, 95.0));
-  heatmap.add_center(EquirectPoint::make(275.0, 35.0));
+  heatmap.add_center(EquirectPoint::make(geometry::Degrees(95.0), geometry::Degrees(95.0)));
+  heatmap.add_center(EquirectPoint::make(geometry::Degrees(95.0), geometry::Degrees(95.0)));
+  heatmap.add_center(EquirectPoint::make(geometry::Degrees(275.0), geometry::Degrees(35.0)));
   EXPECT_DOUBLE_EQ(heatmap.total(), 3.0);
   EXPECT_DOUBLE_EQ(heatmap.max_value(), 2.0);
   EXPECT_DOUBLE_EQ(heatmap.at(9, 9), 2.0);
@@ -368,7 +367,7 @@ TEST(ViewHeatmapTest, CentersAndTotals) {
 
 TEST(ViewHeatmapTest, ViewportAddsFovSizedMass) {
   ViewHeatmap heatmap(18, 36);
-  heatmap.add_viewport(Viewport(EquirectPoint::make(180.0, 90.0)));
+  heatmap.add_viewport(Viewport(EquirectPoint::make(geometry::Degrees(180.0), geometry::Degrees(90.0))));
   // A 100x100 viewport covers ~100/10 x 100/10 = ~100 cells of 10 degrees.
   EXPECT_NEAR(heatmap.total(), 100.0, 15.0);
   EXPECT_DOUBLE_EQ(heatmap.max_value(), 1.0);
@@ -377,19 +376,18 @@ TEST(ViewHeatmapTest, ViewportAddsFovSizedMass) {
 TEST(ViewHeatmapTest, MassInCapturesAttention) {
   ViewHeatmap heatmap(18, 36);
   for (int i = 0; i < 5; ++i)
-    heatmap.add_center(EquirectPoint::make(100.0 + i, 90.0));
-  heatmap.add_center(EquirectPoint::make(300.0, 90.0));
+    heatmap.add_center(EquirectPoint::make(geometry::Degrees(100.0 + i), geometry::Degrees(90.0)));
+  heatmap.add_center(EquirectPoint::make(geometry::Degrees(300.0), geometry::Degrees(90.0)));
   const auto hot =
-      geometry::EquirectRect::make(geometry::LonInterval::make(90.0, 30.0), 70.0, 110.0);
+      geometry::EquirectRect::make(geometry::LonInterval::make(geometry::Degrees(90.0), geometry::Degrees(30.0)), geometry::Degrees(70.0), geometry::Degrees(110.0));
   EXPECT_NEAR(heatmap.mass_in(hot), 5.0 / 6.0, 1e-9);
 }
 
 TEST(ViewHeatmapTest, RenderShapeAndOverlay) {
   ViewHeatmap heatmap(6, 12);
-  heatmap.add_center(EquirectPoint::make(95.0, 95.0));
+  heatmap.add_center(EquirectPoint::make(geometry::Degrees(95.0), geometry::Degrees(95.0)));
   Ptile ptile;
-  ptile.area = geometry::EquirectRect::make(geometry::LonInterval::make(60.0, 90.0),
-                                            60.0, 120.0);
+  ptile.area = geometry::EquirectRect::make(geometry::LonInterval::make(geometry::Degrees(60.0), geometry::Degrees(90.0)), geometry::Degrees(60.0), geometry::Degrees(120.0));
   const std::string art = heatmap.render({ptile});
   // 6 lines of 12 characters.
   EXPECT_EQ(art.size(), 6u * 13u);
@@ -401,7 +399,7 @@ TEST(ViewHeatmapTest, RenderShapeAndOverlay) {
 TEST(FtileLayoutTest, CoverageRejectsBadTileId) {
   const auto centers = blob(120.0, 90.0, 8.0, 10, 35);
   const FtileLayout layout(centers, FtileLayoutConfig{});
-  EXPECT_THROW(layout.coverage(Viewport(EquirectPoint::make(0.0, 90.0)), {999}),
+  EXPECT_THROW(layout.coverage(Viewport(EquirectPoint::make(geometry::Degrees(0.0), geometry::Degrees(90.0))), {999}),
                std::invalid_argument);
 }
 

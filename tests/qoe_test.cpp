@@ -130,35 +130,35 @@ TEST(QoModelTest, QoWithFrameRateComposes) {
 TEST(QoEModelTest, Eq2Composition) {
   const QoEModel model(QoEWeights{1.0, 1.0});
   // No variation, no stall.
-  const SegmentQoE calm = model.segment(80.0, 80.0, 0.5, 3.0);
+  const SegmentQoE calm = model.segment(80.0, 80.0, util::Seconds(0.5), util::Seconds(3.0));
   EXPECT_DOUBLE_EQ(calm.q, 80.0);
   // Variation penalty.
-  const SegmentQoE vary = model.segment(80.0, 60.0, 0.5, 3.0);
+  const SegmentQoE vary = model.segment(80.0, 60.0, util::Seconds(0.5), util::Seconds(3.0));
   EXPECT_DOUBLE_EQ(vary.variation, 20.0);
   EXPECT_DOUBLE_EQ(vary.q, 60.0);
   // Rebuffer penalty: 1 s stall against a 2 s buffer.
-  const SegmentQoE stall = model.segment(80.0, 80.0, 3.0, 2.0);
+  const SegmentQoE stall = model.segment(80.0, 80.0, util::Seconds(3.0), util::Seconds(2.0));
   EXPECT_NEAR(stall.rebuffer, (3.0 - 2.0) / 2.0 * 80.0, 1e-9);
   EXPECT_NEAR(stall.q, 80.0 - stall.rebuffer, 1e-9);
 }
 
 TEST(QoEModelTest, WeightsScalePenalties) {
   const QoEModel model(QoEWeights{0.5, 2.0});
-  const SegmentQoE s = model.segment(80.0, 60.0, 3.0, 2.0);
+  const SegmentQoE s = model.segment(80.0, 60.0, util::Seconds(3.0), util::Seconds(2.0));
   EXPECT_NEAR(s.q, 80.0 - 0.5 * 20.0 - 2.0 * s.rebuffer, 1e-9);
 }
 
 TEST(QoEModelTest, DrainedBufferRebufferIsFinite) {
   const QoEModel model;
-  const SegmentQoE s = model.segment(50.0, 50.0, 2.0, 0.0);
+  const SegmentQoE s = model.segment(50.0, 50.0, util::Seconds(2.0), util::Seconds(0.0));
   EXPECT_TRUE(std::isfinite(s.rebuffer));
   EXPECT_GT(s.rebuffer, 0.0);
 }
 
 TEST(QoEModelTest, AggregateAverages) {
   const QoEModel model;
-  std::vector<SegmentQoE> segments = {model.segment(80.0, 80.0, 0.5, 3.0),
-                                      model.segment(60.0, 80.0, 0.5, 3.0)};
+  std::vector<SegmentQoE> segments = {model.segment(80.0, 80.0, util::Seconds(0.5), util::Seconds(3.0)),
+                                      model.segment(60.0, 80.0, util::Seconds(0.5), util::Seconds(3.0))};
   const SessionQoE agg = SessionQoE::aggregate(segments);
   EXPECT_EQ(agg.segments, 2u);
   EXPECT_DOUBLE_EQ(agg.mean_qo, 70.0);
@@ -169,8 +169,8 @@ TEST(QoEModelTest, AggregateAverages) {
 
 TEST(QoEModelTest, RejectsOutOfRangeInputs) {
   const QoEModel model;
-  EXPECT_THROW(model.segment(101.0, 50.0, 0.5, 3.0), std::invalid_argument);
-  EXPECT_THROW(model.segment(50.0, 50.0, -0.5, 3.0), std::invalid_argument);
+  EXPECT_THROW(model.segment(101.0, 50.0, util::Seconds(0.5), util::Seconds(3.0)), std::invalid_argument);
+  EXPECT_THROW(model.segment(50.0, 50.0, util::Seconds(-0.5), util::Seconds(3.0)), std::invalid_argument);
 }
 
 // -------------------------------------------------------------- VmafSynth

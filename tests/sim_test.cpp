@@ -58,7 +58,7 @@ TEST(WorkloadTest, MostSegmentsHaveFewPtiles) {
   for (std::size_t k = 0; k < w.segment_count(); ++k) {
     if (w.ptiles(k).ptiles.size() <= 2) ++at_most_two;
   }
-  EXPECT_GT(static_cast<double>(at_most_two) / w.segment_count(), 0.6);
+  EXPECT_GT(static_cast<double>(at_most_two) / static_cast<double>(w.segment_count()), 0.6);
 }
 
 TEST(WorkloadTest, TestTracesAreHeldOut) {
@@ -72,7 +72,7 @@ TEST(WorkloadTest, TestTracesAreHeldOut) {
 TEST(WorkloadTest, ActualViewportAndSpeedAreConsistent) {
   const auto& w = football_workload();
   const auto vp = w.actual_viewport(0, 10);
-  EXPECT_NEAR(vp.fov_h(), w.config().fov_deg, 1e-12);
+  EXPECT_NEAR(vp.fov_h().value(), w.config().fov_deg, 1e-12);
   const double speed = w.actual_switching_speed(0, 10);
   EXPECT_GE(speed, 0.0);
   EXPECT_LT(speed, 400.0);
@@ -106,8 +106,10 @@ struct PlannerFixture {
   DownloadPlan plan(SchemeKind kind, std::size_t segment = 10,
                     double bandwidth = 600e3, double buffer = 3.0) const {
     const auto scheme = make_scheme(kind, env);
-    const auto center = football_workload().test_trace(0).center_at(segment);
-    const geometry::Viewport predicted(center, 120.0, 120.0);
+    const auto center =
+        football_workload().test_trace(0).center_at(static_cast<double>(segment));
+    const geometry::Viewport predicted(center, geometry::Degrees(120.0),
+                                       geometry::Degrees(120.0));
     return scheme->plan(segment, predicted, 10.0, bandwidth, buffer, -1.0);
   }
 
@@ -167,8 +169,7 @@ TEST(SchemeTest, NontileCoversEverythingCtileCoversViewport) {
   const auto plan_n = fixture.plan(SchemeKind::kNontile);
   const auto plan_c = fixture.plan(SchemeKind::kCtile);
   const auto far_away = geometry::Viewport(
-      geometry::EquirectPoint::make(
-          geometry::wrap360(plan_c.hq_region.lon.lo + 180.0), 90.0));
+      geometry::EquirectPoint::make(geometry::Degrees(geometry::wrap360(geometry::Degrees(plan_c.hq_region.lon.lo + 180.0)).value()), geometry::Degrees(90.0)));
   EXPECT_DOUBLE_EQ(scheme_n->coverage(plan_n, far_away), 1.0);
   EXPECT_LT(scheme_c->coverage(plan_c, far_away), 0.2);
 }
@@ -182,15 +183,17 @@ TEST(SchemeTest, PtileFallsBackToConventionalTilesWhenUncovered) {
   for (double candidate = 0.0; candidate < 360.0; candidate += 15.0) {
     bool clear = true;
     for (const auto& p : ptiles) {
-      if (p.area.lon.contains(candidate)) clear = false;
+      if (p.area.lon.contains(geometry::Degrees(candidate))) clear = false;
     }
     if (clear) {
       far_lon = candidate;
       break;
     }
   }
-  const geometry::Viewport away(geometry::EquirectPoint::make(far_lon, 90.0), 120.0,
-                                120.0);
+  const geometry::Viewport away(
+      geometry::EquirectPoint::make(geometry::Degrees(far_lon),
+                                    geometry::Degrees(90.0)),
+      geometry::Degrees(120.0), geometry::Degrees(120.0));
   const auto plan = scheme->plan(10, away, 10.0, 600e3, 3.0, -1.0);
   EXPECT_FALSE(plan.used_ptile);
   EXPECT_EQ(plan.option.profile, power::DecodeProfile::kCtile);
@@ -255,7 +258,8 @@ TEST(SchemeTest, OursUsesReducedFramesUnderFastSwitching) {
   const PlannerFixture fixture;
   const auto scheme = make_scheme(SchemeKind::kOurs, fixture.env);
   const auto center = football_workload().test_trace(0).center_at(10);
-  const geometry::Viewport predicted(center, 120.0, 120.0);
+  const geometry::Viewport predicted(center, geometry::Degrees(120.0),
+                                       geometry::Degrees(120.0));
   // Very fast switching -> large alpha -> frame reduction is nearly free.
   const auto fast = scheme->plan(10, predicted, 60.0, 600e3, 3.0, -1.0);
   // Static gaze -> frame reduction costs full QoE -> full rate retained.
@@ -329,7 +333,9 @@ TEST(SessionTest, EnergyMatchesTableOneRates) {
   for (const auto& seg : result.segments) {
     EXPECT_NEAR(seg.energy.transmit_mj, device.transmit_mw * seg.download_s, 1e-6);
     EXPECT_NEAR(seg.energy.decode_mj,
-                device.decode_mw(power::DecodeProfile::kNontile, seg.fps), 1e-6);
+                device.decode_power(power::DecodeProfile::kNontile, seg.fps).value() *
+                    1e3,
+                1e-6);
   }
 }
 

@@ -71,7 +71,7 @@ std::vector<HeadSample> ramp_samples() {
   for (int i = 0; i <= 100; ++i) {
     const double t = i * 0.1;
     samples.push_back(
-        {t, geometry::EquirectPoint::make(350.0 + 10.0 * t, 90.0)});
+        {t, geometry::EquirectPoint::make(geometry::Degrees(350.0 + 10.0 * t), geometry::Degrees(90.0))});
   }
   return samples;
 }
@@ -88,7 +88,7 @@ TEST(HeadTraceTest, CenterAtInterpolatesAcrossWrap) {
   EXPECT_NEAR(trace.center_at(1.05).x, 0.5, 1e-9);
   // Clamping outside the range.
   EXPECT_NEAR(trace.center_at(-5.0).x, 350.0, 1e-9);
-  EXPECT_NEAR(trace.center_at(99.0).x, geometry::wrap360(350.0 + 100.0), 1e-9);
+  EXPECT_NEAR(trace.center_at(99.0).x, geometry::wrap360(geometry::Degrees(350.0 + 100.0)).value(), 1e-9);
 }
 
 TEST(HeadTraceTest, SwitchingSpeedMatchesRamp) {
@@ -103,11 +103,11 @@ TEST(HeadTraceTest, SwitchingSpeedMatchesRamp) {
 TEST(HeadTraceTest, MeanCenterHandlesWrap) {
   // Samples at 355 and 5 degrees: the circular mean is 0, not 180.
   std::vector<HeadSample> samples = {
-      {0.0, geometry::EquirectPoint::make(355.0, 90.0)},
-      {1.0, geometry::EquirectPoint::make(5.0, 90.0)}};
+      {0.0, geometry::EquirectPoint::make(geometry::Degrees(355.0), geometry::Degrees(90.0))},
+      {1.0, geometry::EquirectPoint::make(geometry::Degrees(5.0), geometry::Degrees(90.0))}};
   const HeadTrace trace(1, 0, std::move(samples));
   const auto mean = trace.mean_center(0.0, 1.0);
-  EXPECT_LT(geometry::circular_distance(mean.x, 0.0), 1.0);
+  EXPECT_LT(geometry::circular_distance(geometry::Degrees(mean.x), geometry::Degrees(0.0)).value(), 1.0);
 }
 
 TEST(HeadTraceTest, CsvRoundTrip) {

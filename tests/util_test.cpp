@@ -421,6 +421,66 @@ TEST(CheckTest, CheckThrowsInvalidArgument) {
 
 TEST(CheckTest, AssertThrowsLogicError) {
   EXPECT_THROW(PS360_ASSERT(false), std::logic_error);
+  EXPECT_NO_THROW(PS360_ASSERT(true));
+}
+
+TEST(CheckTest, CheckAndAssertThrowDistinctTypes) {
+  // PS360_CHECK signals a caller error; PS360_ASSERT an internal bug. The
+  // types must stay distinct so callers can catch precondition failures
+  // without swallowing invariant violations.
+  bool caught_as_invalid_argument = false;
+  try {
+    PS360_ASSERT(false);
+  } catch (const std::invalid_argument&) {
+    caught_as_invalid_argument = true;
+  } catch (const std::logic_error&) {
+  }
+  EXPECT_FALSE(caught_as_invalid_argument);
+}
+
+TEST(CheckTest, CheckMessageNamesExpressionAndLocation) {
+  try {
+    PS360_CHECK(1 + 1 == 3);
+    FAIL() << "PS360_CHECK(false) must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("PS360_CHECK failed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("1 + 1 == 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("util_test.cpp"), std::string::npos) << msg;
+  }
+}
+
+TEST(CheckTest, CheckMsgAppendsCustomMessage) {
+  try {
+    PS360_CHECK_MSG(false, "n must be positive");
+    FAIL() << "PS360_CHECK_MSG(false, ...) must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("n must be positive"), std::string::npos) << msg;
+  }
+}
+
+TEST(CheckTest, AssertMessageNamesMacroAndExpression) {
+  try {
+    PS360_ASSERT_MSG(false, "ring buffer corrupt");
+    FAIL() << "PS360_ASSERT_MSG(false, ...) must throw";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("PS360_ASSERT failed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ring buffer corrupt"), std::string::npos) << msg;
+  }
+}
+
+TEST(RngPreconditionTest, UniformIndexZeroFailsLoudly) {
+  Rng rng(7);
+  // n == 0 has no valid result; it must throw (never hang in the rejection
+  // loop or silently return 0).
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+  try {
+    rng.uniform_index(0);
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("n > 0"), std::string::npos) << e.what();
+  }
 }
 
 }  // namespace

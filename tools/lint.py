@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint for pstream360, run as the `lint.invariants` ctest.
+
+Checked invariants:
+  1. Header hygiene: every .h under src/ and bench/ starts include guards with
+     `#pragma once`.
+  2. RNG policy: all randomness flows through ps360::util::Rng. `rand()`,
+     `srand(`, `std::random_device`, and `std::mt19937` are banned outside
+     src/util/rng.* so every run stays bit-reproducible.
+  3. Unit-safe public headers: the migrated modules (geometry angles/viewport,
+     power energy/device_models, qoe qoe_model) must not declare raw
+     `double foo_deg` / `double foo_rad` parameters — angles crossing those
+     APIs are util::Degrees / util::Radians strong types.
+  4. Contract checks: every .cpp in the migrated modules validates inputs with
+     PS360_CHECK / PS360_ASSERT (util/check.h).
+  5. `using namespace std;` is banned everywhere.
+
+Exit code 0 when clean, 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+SOURCE_DIRS = ["src", "tests", "bench", "examples", "tools"]
+
+RNG_EXEMPT = ("src/util/rng.h", "src/util/rng.cpp")
+RNG_BANNED = [
+    (re.compile(r"\brand\s*\(\s*\)"), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand("),
+    (re.compile(r"std::random_device"), "std::random_device"),
+    (re.compile(r"std::mt19937"), "std::mt19937"),
+]
+
+UNIT_SAFE_HEADERS = [
+    "src/geometry/angles.h",
+    "src/geometry/viewport.h",
+    "src/power/energy.h",
+    "src/power/device_models.h",
+    "src/qoe/qoe_model.h",
+]
+
+# `double lon_deg,` / `double a_rad)` — a raw-double angle parameter.
+RAW_ANGLE_PARAM = re.compile(r"\bdouble\s+\w*_(?:deg|rad)\s*[,)=]")
+
+CONTRACT_MODULES = ["src/geometry", "src/power", "src/qoe"]
+
+USING_NAMESPACE_STD = re.compile(r"^\s*using\s+namespace\s+std\s*;")
+
+
+def strip_comments(text: str) -> str:
+    """Remove // and /* */ comments (string literals are not parsed; none of
+    the banned tokens appear inside strings in this codebase)."""
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def iter_sources(repo: pathlib.Path, suffixes: tuple[str, ...]):
+    for d in SOURCE_DIRS:
+        root = repo / d
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in suffixes and path.is_file():
+                yield path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", default=".", help="repository root")
+    args = parser.parse_args()
+    repo = pathlib.Path(args.repo).resolve()
+
+    violations: list[str] = []
+
+    def rel(path: pathlib.Path) -> str:
+        return path.relative_to(repo).as_posix()
+
+    # 1. #pragma once in every header.
+    for path in iter_sources(repo, (".h",)):
+        text = path.read_text(encoding="utf-8")
+        if "#pragma once" not in text:
+            violations.append(f"{rel(path)}: header is missing '#pragma once'")
+
+    # 2. RNG policy + 5. using namespace std.
+    for path in iter_sources(repo, (".h", ".cpp")):
+        rp = rel(path)
+        text = strip_comments(path.read_text(encoding="utf-8"))
+        if rp not in RNG_EXEMPT:
+            for pattern, label in RNG_BANNED:
+                if pattern.search(text):
+                    violations.append(
+                        f"{rp}: uses {label}; all randomness must go through "
+                        "ps360::util::Rng (src/util/rng.h)"
+                    )
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if USING_NAMESPACE_STD.search(line):
+                violations.append(f"{rp}:{lineno}: 'using namespace std;' is banned")
+
+    # 3. Unit-safe public headers.
+    for header in UNIT_SAFE_HEADERS:
+        path = repo / header
+        if not path.is_file():
+            violations.append(f"{header}: unit-safe header is missing")
+            continue
+        text = strip_comments(path.read_text(encoding="utf-8"))
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if RAW_ANGLE_PARAM.search(line):
+                violations.append(
+                    f"{header}:{lineno}: raw 'double ..._deg/_rad' parameter in a "
+                    "unit-safe public header; use util::Degrees / util::Radians"
+                )
+
+    # 4. Contract checks in migrated modules.
+    for module in CONTRACT_MODULES:
+        root = repo / module
+        for path in sorted(root.glob("*.cpp")):
+            text = path.read_text(encoding="utf-8")
+            if "PS360_CHECK" not in text and "PS360_ASSERT" not in text:
+                violations.append(
+                    f"{rel(path)}: no PS360_CHECK/PS360_ASSERT; public API entries "
+                    "in migrated modules must validate their inputs (util/check.h)"
+                )
+
+    if violations:
+        print(f"lint.py: {len(violations)} violation(s)")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print("lint.py: all invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
