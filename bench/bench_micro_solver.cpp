@@ -2,6 +2,14 @@
 // dynamic program (O(H V F) per decision, Section IV-C), Algorithm 1
 // clustering, the ridge-regression viewport predictor, and the encoding
 // model.
+//
+// The MPC rows are the repo's tracked perf trajectory: CI (and any local
+// run) emits machine-readable results with
+//   bench_micro_solver --benchmark_filter=BM_Mpc --benchmark_min_time=0.05
+//     --benchmark_out=BENCH_mpc.json --benchmark_out_format=json
+// and tools/bench_report.py renders the summary/speedup table against the
+// committed snapshots in bench/results/. Pin PS360_THREADS=1 when an eval
+// grid shares the machine.
 #include <benchmark/benchmark.h>
 
 #include "core/mpc.h"
@@ -43,6 +51,21 @@ void BM_MpcDecide(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MpcDecide)->Arg(3)->Arg(5)->Arg(10)->Arg(20);
+
+// Same solve but with a freshly constructed controller (cold scratch arena)
+// every iteration: the gap to BM_MpcDecide is what the steady-state
+// zero-allocation reuse buys.
+void BM_MpcDecideColdScratch(benchmark::State& state) {
+  const auto horizon = make_horizon(static_cast<std::size_t>(state.range(0)), 20);
+  core::MpcConfig config;
+  const auto& device = power::device_model(power::Device::kPixel3);
+  for (auto _ : state) {
+    const core::MpcController controller(config, device,
+                                         core::MpcObjective::kMinEnergyQoEConstrained);
+    benchmark::DoNotOptimize(controller.decide(horizon, 5e5, 2.5, 50.0));
+  }
+}
+BENCHMARK(BM_MpcDecideColdScratch)->Arg(10)->Arg(20);
 
 void BM_MpcDecideQoeMax(benchmark::State& state) {
   const auto horizon = make_horizon(static_cast<std::size_t>(state.range(0)), 5);

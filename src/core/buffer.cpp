@@ -42,8 +42,17 @@ int BufferModel::bucket_of(double buffer_s) const {
   return static_cast<int>(std::lround(quantize(buffer_s) / quantum_s_));
 }
 
+double BufferModel::level_of(int bucket) const {
+  PS360_CHECK(bucket >= 0 && static_cast<std::size_t>(bucket) < bucket_count());
+  return static_cast<double>(bucket) * quantum_s_;
+}
+
 std::size_t BufferModel::bucket_count() const {
-  return static_cast<std::size_t>(std::lround(std::floor(cap_s() / quantum_s_))) + 1;
+  // One past the largest index bucket_of() can produce. quantize() rounds the
+  // cap to the *nearest* grid point, which sits one step above floor(cap/q)
+  // when the cap is not a grid multiple — flooring here would undercount and
+  // any dense table sized by it would be overrun by bucket_of(cap).
+  return static_cast<std::size_t>(std::lround(cap_s() / quantum_s_)) + 1;
 }
 
 }  // namespace ps360::core

@@ -44,6 +44,10 @@ class BufferModel {
   int bucket_of(double buffer_s) const;
   std::size_t bucket_count() const;
 
+  // Buffer level (seconds) of a grid index — the inverse of bucket_of on the
+  // grid. Used to size and address the MPC's dense DP tables.
+  double level_of(int bucket) const;
+
  private:
   double segment_seconds_;
   double threshold_s_;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
 
 #include "core/buffer.h"
 #include "util/check.h"
@@ -15,13 +14,34 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+// Relaxed-mode stall penalty in the energy objective: large enough to
+// dominate any realistic horizon energy, so the fallback minimises stall
+// first and energy second.
+constexpr double kStallPenaltyMjPerS = 1e7;
+
 // Eq. 6 buffer dynamics on the paper's 500 ms DP grid.
 BufferModel buffer_model_of(const MpcConfig& config) {
   return BufferModel(config.segment_seconds, config.buffer_threshold_s,
                      config.buffer_quantum_s);
 }
 
+// resize() that tracks reallocations for the zero-allocation contract.
+template <typename T>
+void grow(std::vector<T>& vec, std::size_t n, std::uint64_t& grow_events) {
+  if (vec.capacity() < n) ++grow_events;
+  vec.resize(n);
+}
+
 }  // namespace
+
+std::size_t MpcScratch::capacity_bytes() const {
+  return (step_cost.capacity() + download_s.capacity() + q_ref.capacity() +
+          at_request_s.capacity() + stall_s.capacity()) *
+             sizeof(double) +
+         eps_ok.capacity() * sizeof(unsigned char) +
+         next_bucket.capacity() * sizeof(std::int32_t) +
+         (frontier.capacity() + next.capacity()) * sizeof(Node);
+}
 
 const QualityOption& reference_option(const SegmentChoices& choices,
                                       double bandwidth_bytes_per_s,
@@ -71,29 +91,39 @@ power::SegmentEnergy MpcController::option_energy(const QualityOption& option,
       util::Seconds(config_.segment_seconds));
 }
 
-namespace {
-
-// DP node key: (quantized buffer bucket, option index chosen for the previous
-// segment). The previous option matters only through its Qo (variation term),
-// but indexing by option keeps the key exact and small.
-struct StateKey {
-  int bucket = 0;
-  int prev_option = -1;  // -1 = "virtual" pre-horizon state
-
-  bool operator<(const StateKey& other) const {
-    return bucket != other.bucket ? bucket < other.bucket
-                                  : prev_option < other.prev_option;
+void MpcController::reference_qualities(const std::vector<SegmentChoices>& horizon,
+                                        double bandwidth_bytes_per_s,
+                                        std::vector<double>& q_ref) const {
+  for (std::size_t i = 0; i < horizon.size(); ++i) {
+    q_ref[i] = reference_option(horizon[i], bandwidth_bytes_per_s,
+                                config_.segment_seconds)
+                   .qo;
   }
-};
+}
 
-struct StateValue {
-  double cost = kInf;        // minimized (energy, or negative QoE score)
-  int root_choice = -1;      // option index chosen at horizon[0] on this path
-  bool had_stall = false;
-};
-
-}  // namespace
-
+// The DP of Eq. 8 over dense tables. State = (quantized buffer bucket,
+// option chosen for the previous segment); the previous option matters only
+// through its Qo (the kMaxQoE variation term), so in energy mode — where the
+// step cost is state-independent — that dimension collapses to a single slot
+// and the frontier is just the buffer grid.
+//
+// Everything that does not depend on the DP state is precomputed once per
+// decide() call into the scratch arena:
+//   * step_cost[i][oi]   — option energy (Eq. 1) or raw Qo,
+//   * eps_ok[i][oi]      — constraint (8c) vs the shared reference ladder,
+//   * next_bucket/stall_s[i][b][oi] — the quantized Eq. 6 transition, which
+//     only depends on the (small) buffer grid, not on the full frontier.
+// The old implementation recomputed option_energy for every
+// (frontier-state × option) pair and rebuilt a std::map per horizon step;
+// this one touches only flat vectors and performs no steady-state
+// allocations (see MpcScratch).
+//
+// Ties on the optimal objective are broken toward the smallest horizon[0]
+// option index — (cost, root choice) propagates lexicographically through
+// the DP — matching decide_exhaustive(), whose depth-first enumeration
+// visits root options in ascending order and only replaces on strictly
+// better cost. Such ties are structural, not exotic: with variation weight
+// 1, every no-stall option above the previous quality scores identically.
 MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
                                   double bandwidth_bytes_per_s, double buffer_s,
                                   double prev_qo) const {
@@ -103,76 +133,189 @@ MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
   for (const auto& seg : horizon) PS360_CHECK(!seg.options.empty());
 
   const bool energy_mode = objective_ == MpcObjective::kMinEnergyQoEConstrained;
+  const std::size_t h = horizon.size();
+
+  std::size_t max_options = 0;
+  for (const auto& seg : horizon)
+    max_options = std::max(max_options, seg.options.size());
+
+  const BufferModel buffers = buffer_model_of(config_);
+  const std::size_t buckets = buffers.bucket_count();
+  // Frontier stride over the prev-option dimension: slot 0 is the virtual
+  // "no previous option" state (prev_qo), slots 1.. are option indices of
+  // the previous segment. Energy mode collapses the dimension entirely.
+  const std::size_t prev_stride = energy_mode ? 1 : max_options + 1;
+
+  MpcScratch& scratch = scratch_;
+  grow(scratch.step_cost, h * max_options, scratch.grow_events);
+  grow(scratch.download_s, h * max_options, scratch.grow_events);
+  grow(scratch.eps_ok, h * max_options, scratch.grow_events);
+  grow(scratch.q_ref, h, scratch.grow_events);
+  grow(scratch.at_request_s, buckets, scratch.grow_events);
 
   // ε-constraint reference quality per segment (energy mode).
-  std::vector<double> q_ref(horizon.size(), 0.0);
-  if (energy_mode) {
-    for (std::size_t i = 0; i < horizon.size(); ++i) {
-      q_ref[i] = reference_option(horizon[i], bandwidth_bytes_per_s,
-                                  config_.segment_seconds)
-                     .qo;
+  if (energy_mode) reference_qualities(horizon, bandwidth_bytes_per_s, scratch.q_ref);
+
+  // Per-(segment, option) invariants: download time, energy cost / raw Qo,
+  // and constraint-(8c) feasibility — none of which depend on the DP state,
+  // so the old per-(frontier-state × option) recomputation collapses to one
+  // pass here.
+  for (std::size_t i = 0; i < h; ++i) {
+    const auto& options = horizon[i].options;
+    for (std::size_t oi = 0; oi < options.size(); ++oi) {
+      const auto& option = options[oi];
+      const std::size_t flat = i * max_options + oi;
+      scratch.download_s[flat] = option.bytes / bandwidth_bytes_per_s;
+      if (energy_mode) {
+        scratch.step_cost[flat] =
+            option_energy(option, bandwidth_bytes_per_s).total_mj();
+        scratch.eps_ok[flat] =
+            option.qo >= (1.0 - config_.epsilon) * scratch.q_ref[i] ? 1 : 0;
+      } else {
+        scratch.step_cost[flat] = option.qo;
+        scratch.eps_ok[flat] = 1;
+      }
     }
   }
 
-  const BufferModel buffers = buffer_model_of(config_);
-  auto bucket_of = [&](double b) { return buffers.bucket_of(b); };
+  // Buffer available at request time per bucket: level - Δt, with the exact
+  // arithmetic of BufferModel::advance so the DP transitions below stay
+  // bit-identical to the reference implementations.
+  const double cap = buffers.cap_s();
+  const double quantum = buffers.quantum_s();
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const double level = buffers.level_of(static_cast<int>(b));
+    scratch.at_request_s[b] = level - std::max(level - config_.buffer_threshold_s, 0.0);
+  }
+
+  // Quantized Eq. 6 transition from bucket b under download time d: stall
+  // and the next bucket. raw_next lies in [L, cap], so the quantize() clamp
+  // reduces to the min(), and dividing by the quantum directly reproduces
+  // bucket_of(quantize(raw_next)) without materialising the level.
+  auto transition = [&](std::size_t b, double d, double& stall) {
+    const double at_request = scratch.at_request_s[b];
+    stall = std::max(d - at_request, 0.0);
+    const double raw_next =
+        std::max(at_request - d, 0.0) + config_.segment_seconds;
+    return static_cast<std::size_t>(std::lround(std::min(raw_next, cap) / quantum));
+  };
+
+  // In kMaxQoE mode every bucket row of transitions is shared by |options|
+  // frontier states, so materialise it once per step (filled lazily below);
+  // in energy mode each (bucket, option) pair is visited exactly once and
+  // the table would be pure overhead.
+  if (!energy_mode) {
+    grow(scratch.next_bucket, buckets * max_options, scratch.grow_events);
+    grow(scratch.stall_s, buckets * max_options, scratch.grow_events);
+  }
+
+  const std::size_t table_size = buckets * prev_stride;
+  const std::size_t start = static_cast<std::size_t>(buffers.bucket_of(buffer_s)) *
+                            prev_stride;
 
   // strict = enforce no-stall + ε-constraint (energy mode); relaxed = allow
   // everything, penalise stalls — used as fallback and as the kMaxQoE mode.
   // Returns false if no complete path exists under the given strictness.
   auto run = [&](bool strict, MpcDecision& decision) -> bool {
-    std::map<StateKey, StateValue> frontier;
-    frontier[{bucket_of(buffer_s), -1}] = StateValue{0.0, -1, false};
+    grow(scratch.frontier, table_size, scratch.grow_events);
+    grow(scratch.next, table_size, scratch.grow_events);
+    constexpr MpcScratch::Node kDead{kInf, -1, false};
+    std::fill(scratch.frontier.begin(), scratch.frontier.end(), kDead);
+    scratch.frontier[start] = MpcScratch::Node{0.0, -1, false};
+    bool any_alive = true;
 
-    for (std::size_t i = 0; i < horizon.size(); ++i) {
-      std::map<StateKey, StateValue> next;
-      for (const auto& [key, value] : frontier) {
-        const double buffer_now =
-            static_cast<double>(key.bucket) * config_.buffer_quantum_s;
-        const double qo_prev =
-            key.prev_option < 0
-                ? prev_qo
-                : horizon[i - 1].options[static_cast<std::size_t>(key.prev_option)].qo;
-        for (std::size_t oi = 0; oi < horizon[i].options.size(); ++oi) {
-          const auto& option = horizon[i].options[oi];
-          const BufferStep step = buffers.advance_quantized(
-              buffer_now, option.bytes / bandwidth_bytes_per_s);
-          if (strict && energy_mode) {
-            if (step.stall_s > 0.0) continue;
-            if (option.qo < (1.0 - config_.epsilon) * q_ref[i]) continue;
+    for (std::size_t i = 0; i < h && any_alive; ++i) {
+      std::fill(scratch.next.begin(), scratch.next.end(), kDead);
+      any_alive = false;
+      const std::size_t n_options = horizon[i].options.size();
+      const double* step_cost = scratch.step_cost.data() + i * max_options;
+      const double* download_s = scratch.download_s.data() + i * max_options;
+      const unsigned char* eps_ok = scratch.eps_ok.data() + i * max_options;
+
+      if (energy_mode) {
+        // Collapsed frontier: one slot per bucket, state-independent step
+        // cost, transitions computed inline.
+        for (std::size_t b = 0; b < table_size; ++b) {
+          const MpcScratch::Node& node = scratch.frontier[b];
+          if (node.cost == kInf) continue;
+          for (std::size_t oi = 0; oi < n_options; ++oi) {
+            if (strict && !eps_ok[oi]) continue;
+            double stall;
+            const std::size_t nb = transition(b, download_s[oi], stall);
+            if (strict && stall > 0.0) continue;
+            double step = step_cost[oi];
+            if (!strict) step += kStallPenaltyMjPerS * stall;
+            const double total = node.cost + step;
+            const std::int32_t root =
+                i == 0 ? static_cast<std::int32_t>(oi) : node.root_choice;
+            MpcScratch::Node& target = scratch.next[nb];
+            if (total < target.cost ||
+                (total == target.cost && root < target.root_choice)) {
+              target.cost = total;
+              target.root_choice = root;
+              target.had_stall = node.had_stall || stall > 0.0;
+              any_alive = true;
+            }
           }
-          double step_cost;
-          if (energy_mode) {
-            step_cost = option_energy(option, bandwidth_bytes_per_s).total_mj();
-            if (!strict) step_cost += 1e7 * step.stall_s;  // dominate energy scale
-          } else {
-            // A negative prev Qo means "no previous segment": no variation
-            // penalty on the first decision of a session.
+        }
+      } else {
+        // Fill this step's (bucket × option) transition table once; each
+        // row then serves every prev-option slot of that bucket.
+        for (std::size_t b = 0; b < buckets; ++b) {
+          for (std::size_t oi = 0; oi < n_options; ++oi) {
+            double stall;
+            const std::size_t nb = transition(b, download_s[oi], stall);
+            scratch.next_bucket[b * max_options + oi] =
+                static_cast<std::int32_t>(nb);
+            scratch.stall_s[b * max_options + oi] = stall;
+          }
+        }
+        for (std::size_t state = 0; state < table_size; ++state) {
+          const MpcScratch::Node& node = scratch.frontier[state];
+          if (node.cost == kInf) continue;
+          const std::size_t b = state / prev_stride;
+          const std::size_t prev_slot = state % prev_stride;
+          // Slot 0 is the virtual pre-horizon state; negative prev_qo then
+          // means "no previous segment": no variation penalty on the first
+          // decision of a session.
+          const double qo_prev =
+              prev_slot == 0 ? prev_qo : horizon[i - 1].options[prev_slot - 1].qo;
+          const std::int32_t* next_bucket =
+              scratch.next_bucket.data() + b * max_options;
+          const double* stall_s = scratch.stall_s.data() + b * max_options;
+          for (std::size_t oi = 0; oi < n_options; ++oi) {
+            const double stall = stall_s[oi];
             const double variation =
-                qo_prev >= 0.0 ? std::fabs(option.qo - qo_prev) : 0.0;
-            const double q = option.qo - config_.weights.variation * variation -
-                             config_.stall_penalty_per_s * step.stall_s;
-            step_cost = -q;
-          }
-          const StateKey next_key{bucket_of(step.next_buffer_s), static_cast<int>(oi)};
-          const double total = value.cost + step_cost;
-          auto [it, inserted] = next.try_emplace(next_key);
-          if (inserted || total < it->second.cost) {
-            it->second.cost = total;
-            it->second.root_choice =
-                i == 0 ? static_cast<int>(oi) : value.root_choice;
-            it->second.had_stall = value.had_stall || step.stall_s > 0.0;
+                qo_prev >= 0.0 ? std::fabs(step_cost[oi] - qo_prev) : 0.0;
+            const double q = step_cost[oi] - config_.weights.variation * variation -
+                             config_.stall_penalty_per_s * stall;
+            const std::size_t next_state =
+                static_cast<std::size_t>(next_bucket[oi]) * prev_stride + oi + 1;
+            const double total = node.cost - q;
+            const std::int32_t root =
+                i == 0 ? static_cast<std::int32_t>(oi) : node.root_choice;
+            MpcScratch::Node& target = scratch.next[next_state];
+            if (total < target.cost ||
+                (total == target.cost && root < target.root_choice)) {
+              target.cost = total;
+              target.root_choice = root;
+              target.had_stall = node.had_stall || stall > 0.0;
+              any_alive = true;
+            }
           }
         }
       }
-      frontier = std::move(next);
-      if (frontier.empty()) break;
+      scratch.frontier.swap(scratch.next);
     }
 
-    if (frontier.empty()) return false;  // no path at all
-    const StateValue* best = nullptr;
-    for (const auto& [key, value] : frontier) {
-      if (best == nullptr || value.cost < best->cost) best = &value;
+    if (!any_alive) return false;  // no path at all
+    const MpcScratch::Node* best = nullptr;
+    for (const auto& node : scratch.frontier) {
+      if (node.cost == kInf) continue;
+      if (best == nullptr || node.cost < best->cost ||
+          (node.cost == best->cost && node.root_choice < best->root_choice)) {
+        best = &node;
+      }
     }
     PS360_ASSERT(best != nullptr && best->root_choice >= 0);
     decision.choice =
@@ -185,7 +328,8 @@ MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
   MpcDecision decision;
   if (!run(/*strict=*/energy_mode, decision)) {
     // No plan satisfies the constraints (e.g. bandwidth collapse): fall back
-    // to the relaxed problem and report infeasibility.
+    // to the relaxed problem — reusing the same precomputed tables — and
+    // report infeasibility.
     const bool found = run(/*strict=*/false, decision);
     PS360_ASSERT_MSG(found, "relaxed MPC must always find a plan");
     decision.feasible = false;
@@ -201,13 +345,7 @@ MpcDecision MpcController::decide_exhaustive(const std::vector<SegmentChoices>& 
   const bool energy_mode = objective_ == MpcObjective::kMinEnergyQoEConstrained;
 
   std::vector<double> q_ref(horizon.size(), 0.0);
-  if (energy_mode) {
-    for (std::size_t i = 0; i < horizon.size(); ++i) {
-      q_ref[i] = reference_option(horizon[i], bandwidth_bytes_per_s,
-                                  config_.segment_seconds)
-                     .qo;
-    }
-  }
+  if (energy_mode) reference_qualities(horizon, bandwidth_bytes_per_s, q_ref);
 
   struct Best {
     double cost = kInf;
@@ -223,6 +361,9 @@ MpcDecision MpcController::decide_exhaustive(const std::vector<SegmentChoices>& 
     auto recurse = [&](auto&& self, std::size_t depth, double buffer, double qo_prev,
                        double cost, bool stalled) -> void {
       if (depth == horizon.size()) {
+        // Roots are enumerated in ascending order, so the strict < keeps the
+        // smallest root option among cost ties — the same canonical
+        // tie-break the DP applies lexicographically.
         if (cost < best.cost) {
           best.cost = cost;
           best.root = static_cast<int>(picks[0]);
@@ -241,7 +382,7 @@ MpcDecision MpcController::decide_exhaustive(const std::vector<SegmentChoices>& 
         double step_cost;
         if (energy_mode) {
           step_cost = option_energy(option, bandwidth_bytes_per_s).total_mj();
-          if (!strict) step_cost += 1e7 * step.stall_s;
+          if (!strict) step_cost += kStallPenaltyMjPerS * step.stall_s;
         } else {
           const double variation =
               qo_prev >= 0.0 ? std::fabs(option.qo - qo_prev) : 0.0;

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,49 @@ struct MpcDecision {
   double objective = 0.0;    // optimal DP objective over the horizon
 };
 
+// Flat scratch arena for the DP solver, owned by the controller and reused
+// across decide() calls so the steady state performs zero heap allocations.
+// Layouts (all flattened, row-major):
+//   per (segment, option):          [segment * option_stride + option]
+//   per (segment, bucket, option):  [(segment * buckets + bucket) * option_stride + option]
+//   DP frontier:                    [bucket * prev_stride + prev_option + 1]
+// In kMinEnergyQoEConstrained mode the step cost does not depend on the
+// previous option, so prev_stride collapses to 1 and the frontier shrinks by
+// a factor of |options|. Internal: the only stable surface is the
+// observability accessors on MpcController.
+struct MpcScratch {
+  // One DP frontier entry: minimal cost to reach the state, the option chosen
+  // at horizon[0] on that minimal path, and whether that path stalled.
+  struct Node {
+    double cost = 0.0;
+    std::int32_t root_choice = -1;
+    bool had_stall = false;
+  };
+
+  // Per-option invariants of one decide() call (independent of DP state).
+  std::vector<double> step_cost;        // energy mJ, or raw qo in kMaxQoE mode
+  std::vector<double> download_s;       // bytes / estimated bandwidth
+  std::vector<unsigned char> eps_ok;    // constraint (8c) feasibility
+  std::vector<double> q_ref;            // per-segment reference quality
+  // Buffer level available at request time per bucket (Eq. 6 Δt applied).
+  std::vector<double> at_request_s;
+  // Quantized Eq. 6 transition per (segment, bucket, option); only
+  // materialised in kMaxQoE mode, where each bucket row is shared by
+  // |options| frontier states — in energy mode each (bucket, option) pair is
+  // visited exactly once per step, so transitions are computed inline.
+  std::vector<std::int32_t> next_bucket;
+  std::vector<double> stall_s;
+  // Dense DP frontier tables (double-buffered).
+  std::vector<Node> frontier;
+  std::vector<Node> next;
+
+  // Bytes currently reserved across all vectors, and how many times any of
+  // them had to grow. Stable values across repeated same-shaped decide()
+  // calls are the observable "zero allocations in steady state" contract.
+  std::size_t capacity_bytes() const;
+  std::uint64_t grow_events = 0;
+};
+
 class MpcController {
  public:
   MpcController(MpcConfig config, const power::DeviceModel& device,
@@ -91,10 +135,27 @@ class MpcController {
                                 double bandwidth_bytes_per_s, double buffer_s,
                                 double prev_qo) const;
 
+  // Scratch-arena observability (see MpcScratch): total reserved bytes and
+  // the number of reallocation events so far. After a warm-up decide() call,
+  // both stay constant for repeated calls of the same horizon shape.
+  std::size_t scratch_capacity_bytes() const { return scratch_.capacity_bytes(); }
+  std::uint64_t scratch_grow_events() const { return scratch_.grow_events; }
+
  private:
+  // Fill q_ref[i] with the constraint-(8c) reference quality of horizon[i].
+  // Shared by decide() and decide_exhaustive() so the ε-constraint anchor
+  // cannot drift between the two implementations.
+  void reference_qualities(const std::vector<SegmentChoices>& horizon,
+                           double bandwidth_bytes_per_s,
+                           std::vector<double>& q_ref) const;
+
   MpcConfig config_;
   const power::DeviceModel* device_;
   MpcObjective objective_;
+  // decide() is logically const but reuses this arena; a single controller
+  // must therefore not run decide() concurrently from multiple threads
+  // (sessions and benches each own their controllers, so this holds today).
+  mutable MpcScratch scratch_;
 };
 
 // Reference quality for constraint (8c): the highest-(v,f) option the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 
@@ -14,14 +15,24 @@ double EvaluationCell::energy_per_segment_mj() const {
   return result.energy.total_mj() / static_cast<double>(segments);
 }
 
+const std::map<EvaluationGrid::CellKey, std::size_t>& EvaluationGrid::index() const {
+  if (index_.size() != cells.size()) {
+    index_.clear();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const auto& cell = cells[i];
+      index_.emplace(
+          CellKey{cell.video_id, cell.trace_id, static_cast<int>(cell.scheme)}, i);
+    }
+  }
+  return index_;
+}
+
 const EvaluationCell& EvaluationGrid::at(int video_id, int trace_id,
                                          SchemeKind scheme) const {
-  for (const auto& cell : cells) {
-    if (cell.video_id == video_id && cell.trace_id == trace_id &&
-        cell.scheme == scheme)
-      return cell;
-  }
-  throw std::invalid_argument("missing evaluation cell");
+  const auto& idx = index();
+  const auto it = idx.find(CellKey{video_id, trace_id, static_cast<int>(scheme)});
+  if (it == idx.end()) throw std::invalid_argument("missing evaluation cell");
+  return cells[it->second];
 }
 
 double EvaluationGrid::normalized_mean(
@@ -36,6 +47,17 @@ double EvaluationGrid::normalized_mean(
     ++n;
   }
   return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (const char* env = std::getenv("PS360_THREADS")) {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0)
+      return static_cast<std::size_t>(value);
+  }
+  return requested != 0 ? requested
+                        : std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
 }
 
 double EvaluationGrid::energy_metric(const EvaluationCell& cell) {
@@ -93,11 +115,7 @@ EvaluationGrid run_evaluation_grid(power::Device device,
     }
   };
 
-  std::size_t n_threads = options.threads != 0
-                              ? options.threads
-                              : std::max<std::size_t>(
-                                    std::thread::hardware_concurrency(), 1);
-  n_threads = std::min(n_threads, n_videos);
+  std::size_t n_threads = std::min(resolve_thread_count(options.threads), n_videos);
   if (n_threads <= 1) {
     worker();
   } else {

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <functional>
+#include <map>
+#include <tuple>
 #include <vector>
 
 #include "sim/session.h"
@@ -24,7 +26,9 @@ struct EvaluationCell {
 struct EvaluationGrid {
   std::vector<EvaluationCell> cells;
 
-  // The cell for one (video, trace, scheme); throws if absent.
+  // The cell for one (video, trace, scheme); throws if absent. Looks up
+  // through the keyed index (O(log cells)), so grid-wide aggregations such
+  // as normalized_mean stay O(cells · log cells) instead of O(cells²).
   const EvaluationCell& at(int video_id, int trace_id, SchemeKind scheme) const;
 
   // Mean over videos of metric(cell)/metric(Ctile cell) for one trace.
@@ -34,6 +38,14 @@ struct EvaluationGrid {
   // Convenience metrics.
   static double energy_metric(const EvaluationCell& cell);
   static double qoe_metric(const EvaluationCell& cell);
+
+ private:
+  // Keyed index over (video, trace, scheme), built lazily on first lookup
+  // and rebuilt whenever cells have been appended since. Queries are not
+  // thread-safe against concurrent appends: build the grid first, then read.
+  using CellKey = std::tuple<int, int, int>;
+  const std::map<CellKey, std::size_t>& index() const;
+  mutable std::map<CellKey, std::size_t> index_;
 };
 
 struct EvaluationOptions {
@@ -42,13 +54,21 @@ struct EvaluationOptions {
   double network_duration_s = 700.0;   // synthesized trace length
   // Worker threads fanning out over videos (cells are independent and all
   // randomness is seed-keyed, so the result is identical for any thread
-  // count; 0 = hardware concurrency).
+  // count; 0 = hardware concurrency). The PS360_THREADS environment
+  // variable, when set, overrides this — see resolve_thread_count().
   std::size_t threads = 1;
   // Called after each (video, trace) block completes, for progress display.
   // With threads > 1 calls may arrive out of video order (but never
   // concurrently).
   std::function<void(int video_id, int trace_id)> progress;
 };
+
+// Worker-thread count run_evaluation_grid will actually use for `requested`
+// (= EvaluationOptions::threads). A PS360_THREADS environment variable set
+// to a positive integer overrides the request, so bench/eval binaries can be
+// pinned (e.g. PS360_THREADS=1) for reproducible perf numbers; otherwise
+// `requested` is returned, with 0 meaning hardware concurrency.
+std::size_t resolve_thread_count(std::size_t requested);
 
 // Run the grid for one device. `session` parametrises every cell (its seed
 // and device are overridden per the options/device arguments).

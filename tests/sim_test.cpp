@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
+#include "sim/experiment.h"
 #include "sim/session.h"
 
 namespace ps360::sim {
@@ -396,6 +398,61 @@ TEST(SessionTest, RejectsBadTestUser) {
   EXPECT_THROW(simulate_session(football_workload(), 99, SchemeKind::kOurs, trace2(),
                                 fast_config()),
                std::invalid_argument);
+}
+
+// ------------------------------------------------------- Evaluation grid
+
+TEST(ExperimentTest, ResolveThreadCountHonorsEnvOverride) {
+  // PS360_THREADS pins the evaluation-grid worker count for reproducible
+  // perf runs; invalid or unset values fall back to the request.
+  unsetenv("PS360_THREADS");
+  EXPECT_EQ(resolve_thread_count(3), 3u);
+  EXPECT_GE(resolve_thread_count(0), 1u);  // hardware concurrency
+
+  setenv("PS360_THREADS", "2", 1);
+  EXPECT_EQ(resolve_thread_count(3), 2u);
+  EXPECT_EQ(resolve_thread_count(0), 2u);
+
+  setenv("PS360_THREADS", "0", 1);  // invalid: must be positive
+  EXPECT_EQ(resolve_thread_count(3), 3u);
+  setenv("PS360_THREADS", "not-a-number", 1);
+  EXPECT_EQ(resolve_thread_count(3), 3u);
+  setenv("PS360_THREADS", "2x", 1);  // trailing garbage
+  EXPECT_EQ(resolve_thread_count(3), 3u);
+  unsetenv("PS360_THREADS");
+}
+
+TEST(ExperimentTest, GridIndexLookupMatchesLinearScan) {
+  // at() resolves through the keyed (video, trace, scheme) index; verify it
+  // against a hand-built grid, including the missing-cell throw.
+  EvaluationGrid grid;
+  for (int video = 1; video <= 3; ++video) {
+    for (int trace = 1; trace <= 2; ++trace) {
+      for (SchemeKind scheme : all_schemes()) {
+        EvaluationCell cell;
+        cell.video_id = video;
+        cell.trace_id = trace;
+        cell.scheme = scheme;
+        cell.segments = static_cast<std::size_t>(video * 10 + trace);
+        grid.cells.push_back(cell);
+      }
+    }
+  }
+  const EvaluationCell& cell = grid.at(2, 1, SchemeKind::kPtile);
+  EXPECT_EQ(cell.video_id, 2);
+  EXPECT_EQ(cell.trace_id, 1);
+  EXPECT_EQ(cell.scheme, SchemeKind::kPtile);
+  EXPECT_EQ(cell.segments, 21u);
+  EXPECT_THROW(grid.at(9, 1, SchemeKind::kPtile), std::invalid_argument);
+
+  // The index refreshes when cells are appended after a lookup.
+  EvaluationCell late;
+  late.video_id = 9;
+  late.trace_id = 1;
+  late.scheme = SchemeKind::kPtile;
+  late.segments = 91;
+  grid.cells.push_back(late);
+  EXPECT_EQ(grid.at(9, 1, SchemeKind::kPtile).segments, 91u);
 }
 
 }  // namespace
