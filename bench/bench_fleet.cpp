@@ -1,0 +1,102 @@
+// google-benchmark microbenchmarks for the fleet engine: end-to-end fleets
+// of 1/8/64 MPC clients over a shared bottleneck, plus the SharedLink
+// water-filling step in isolation.
+//
+// The fleet rows are a tracked perf trajectory next to the MPC solver: CI
+// emits machine-readable results with
+//   bench_fleet --benchmark_filter=BM_FleetRun --benchmark_min_time=0.05
+//     --benchmark_out=BENCH_fleet.json --benchmark_out_format=json
+// and tools/bench_report.py renders them next to BENCH_mpc.json. The
+// sessions_per_s counter is the headline number: whole streaming sessions
+// simulated per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "fleet/engine.h"
+#include "fleet/shared_link.h"
+#include "sim/workload.h"
+#include "trace/video_catalog.h"
+
+namespace {
+
+using namespace ps360;
+
+const sim::VideoWorkload& bench_workload() {
+  static const sim::VideoWorkload workload = [] {
+    trace::VideoInfo video = trace::test_videos()[1];
+    video.duration_s = 20.0;  // short sessions keep the fleet bench snappy
+    return sim::VideoWorkload(video, sim::WorkloadConfig{});
+  }();
+  return workload;
+}
+
+// The link budget grows with the fleet so every size runs in the same
+// per-session regime (contention shape, not starvation, is what varies).
+trace::NetworkTrace bench_link(std::size_t sessions) {
+  trace::NetworkSynthConfig config;
+  config.seed = 77;
+  config.duration_s = 300.0;
+  const double scale = static_cast<double>(sessions);
+  config.mean_mbps *= scale;
+  config.min_mbps *= scale;
+  config.max_mbps *= scale;
+  return trace::synthesize_network_trace(config);
+}
+
+void BM_FleetRun(benchmark::State& state) {
+  const std::size_t sessions = static_cast<std::size_t>(state.range(0));
+  const sim::VideoWorkload& workload = bench_workload();
+  const trace::NetworkTrace link = bench_link(sessions);
+  fleet::FleetConfig config;
+  config.sessions = sessions;
+  config.start_spread_s = 2.0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const fleet::FleetResult result = fleet::run_fleet(workload, link, config);
+    events += result.stats.events;
+    benchmark::DoNotOptimize(result.sessions.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sessions));
+  state.counters["sessions_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * sessions),
+      benchmark::Counter::kIsRate);
+  state.counters["events"] =
+      benchmark::Counter(static_cast<double>(events) /
+                         static_cast<double>(std::max<std::uint64_t>(
+                             1, static_cast<std::uint64_t>(state.iterations()))));
+}
+BENCHMARK(BM_FleetRun)->Arg(1)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// The fair-share recompute in isolation: start/finish churn over a standing
+// pool of flows, exercising the O(flows) water-fill per event.
+void BM_SharedLinkChurn(benchmark::State& state) {
+  const std::size_t flows = static_cast<std::size_t>(state.range(0));
+  std::vector<trace::ThroughputSample> samples;
+  for (double t = 0.0; t < 600.0; t += 1.0) samples.push_back({t, 80.0});
+  const trace::NetworkTrace trace(std::move(samples));
+  for (auto _ : state) {
+    fleet::SharedLink link(trace, flows);
+    for (std::size_t s = 0; s < flows; ++s)
+      link.start(s, 1e5 + 1e3 * static_cast<double>(s),
+                 s % 3 == 0 ? 2e5 : 0.0);
+    std::size_t restarts_left = flows;  // one replacement flow per session
+    while (const auto completion = link.next_completion()) {
+      link.advance_to(completion->t);
+      link.finish(completion->session);
+      if (restarts_left > 0) {
+        --restarts_left;
+        link.start(completion->session, 5e4, 0.0);
+      }
+    }
+    benchmark::DoNotOptimize(link.reallocations());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * flows));
+}
+BENCHMARK(BM_SharedLinkChurn)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace

@@ -1,0 +1,80 @@
+// fleet_contention — how the paper's controller behaves when it is not
+// alone: sweep the number of concurrent clients sharing one bottleneck link
+// and compare "Ours" against the conventional-tile baseline at every fleet
+// size.
+//
+// The link is provisioned at roughly one LTE trace-2 share per client at
+// fleet size 16, so small fleets run uncongested and large fleets fight for
+// the fair share — the interesting regime for an energy-aware scheme, since
+// slower downloads keep the radio powered longer (Eq. 1).
+//
+// Build & run:
+//   cmake -B build && cmake --build build
+//   ./build/examples/fleet_contention
+#include <cstdio>
+#include <vector>
+
+#include "fleet/runner.h"
+#include "sim/workload.h"
+#include "trace/video_catalog.h"
+
+using namespace ps360;
+
+int main() {
+  // A short focused clip keeps 170+ simulated sessions quick.
+  trace::VideoInfo video = trace::test_videos()[1];
+  video.duration_s = 30.0;
+  std::printf("video: %d (%s), %.0f s\n", video.id, video.name.c_str(),
+              video.duration_s);
+
+  const sim::VideoWorkload workload(video, sim::WorkloadConfig{});
+
+  // Bottleneck provisioned for ~16 concurrent trace-2 clients.
+  fleet::FleetRunOptions options;
+  options.replications = 2;
+  options.threads = 0;  // all cores (PS360_THREADS overrides)
+  options.link.duration_s = 400.0;
+  options.link.mean_mbps *= 16.0;
+  options.link.min_mbps *= 16.0;
+  options.link.max_mbps *= 16.0;
+
+  fleet::FleetConfig base;
+  base.start_spread_s = 2.0;
+
+  const std::vector<std::size_t> sizes = {1, 4, 16, 64};
+  std::printf("link: %.0f Mbps mean, %zu replications per point\n\n",
+              options.link.mean_mbps, options.replications);
+
+  std::printf("%7s | %26s | %26s\n", "", "Ours", "Ctile");
+  std::printf("%7s | %8s %6s %5s %4s | %8s %6s %5s %4s\n", "fleet",
+              "mJ/user", "QoE", "stall", "util", "mJ/user", "QoE", "stall",
+              "util");
+  std::printf("--------+----------------------------+--------------------------"
+              "--\n");
+  for (const std::size_t size : sizes) {
+    fleet::FleetMetrics metrics[2];
+    const sim::SchemeKind schemes[2] = {sim::SchemeKind::kOurs,
+                                        sim::SchemeKind::kCtile};
+    for (int i = 0; i < 2; ++i) {
+      fleet::FleetConfig config = base;
+      config.sessions = size;
+      config.scheme = schemes[i];
+      metrics[i] =
+          fleet::run_fleet_aggregate(workload, config, options).metrics;
+    }
+    std::printf("%7zu | %8.0f %6.1f %4.1f%% %3.0f%% | %8.0f %6.1f %4.1f%% "
+                "%3.0f%%\n",
+                size, metrics[0].energy_per_session_mj, metrics[0].mean_qoe,
+                metrics[0].stall_ratio * 100.0,
+                metrics[0].link_utilization * 100.0,
+                metrics[1].energy_per_session_mj, metrics[1].mean_qoe,
+                metrics[1].stall_ratio * 100.0,
+                metrics[1].link_utilization * 100.0);
+  }
+
+  std::printf("\nReading the table: past the provisioning point (16) every "
+              "session's fair\nshare shrinks, downloads stretch, and the radio "
+              "stays up longer — the\nenergy gap between the schemes is what "
+              "survives contention.\n");
+  return 0;
+}

@@ -1,0 +1,208 @@
+// Fleet engine implementation: the single-threaded event loop that drives N
+// StreamingClients against one SharedLink. Only the earliest completion is
+// ever scheduled; stale predictions are discarded by generation tag.
+#include "fleet/engine.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/client.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace ps360::fleet {
+
+namespace {
+
+// Seed stream tag for the session start stagger (arbitrary constant, fixed
+// forever so fleet runs stay reproducible across versions).
+constexpr std::uint64_t kStartJitterStream = 0x5747A66E5ULL;
+
+// One session's live state inside the engine.
+struct SessionRuntime {
+  std::unique_ptr<sim::SessionAccountant> accountant;
+  std::unique_ptr<sim::StreamingClient> client;
+  // The request planned by the last plan_next(), in flight or waiting.
+  std::optional<sim::ClientRequest> pending;
+  double flow_started_at = 0.0;
+  double start_s = 0.0;
+  double finish_s = 0.0;
+  bool done = false;
+};
+
+}  // namespace
+
+FleetMetrics FleetResult::metrics(double segment_seconds) const {
+  PS360_CHECK(segment_seconds > 0.0);
+  FleetMetrics m;
+  m.sessions = sessions.size();
+  if (sessions.empty()) return m;
+
+  std::vector<double> energies, qoes;
+  energies.reserve(sessions.size());
+  qoes.reserve(sessions.size());
+  double total_stall = 0.0, total_playback = 0.0;
+  double total_download_s = 0.0;
+  std::size_t total_segments = 0;
+  for (const FleetSessionResult& s : sessions) {
+    energies.push_back(s.result.energy.total_mj());
+    qoes.push_back(s.result.qoe.mean_q);
+    total_stall += s.result.total_stall_s;
+    total_playback +=
+        static_cast<double>(s.result.segments.size()) * segment_seconds;
+    for (const sim::SegmentRecord& seg : s.result.segments)
+      total_download_s += seg.download_s;
+    total_segments += s.result.segments.size();
+  }
+  m.energy_per_session_mj = util::mean(energies);
+  m.p50_energy_mj = util::percentile(energies, 50.0);
+  m.p95_energy_mj = util::percentile(energies, 95.0);
+  m.mean_qoe = util::mean(qoes);
+  m.p50_qoe = util::percentile(qoes, 50.0);
+  m.p95_qoe = util::percentile(qoes, 95.0);
+  m.stall_ratio = total_playback + total_stall > 0.0
+                      ? total_stall / (total_playback + total_stall)
+                      : 0.0;
+  m.link_utilization =
+      stats.offered_bytes > 0.0 ? stats.delivered_bytes / stats.offered_bytes : 0.0;
+  m.mean_download_s = total_segments > 0
+                          ? total_download_s / static_cast<double>(total_segments)
+                          : 0.0;
+  return m;
+}
+
+FleetResult run_fleet(const sim::VideoWorkload& workload,
+                      const trace::NetworkTrace& link_trace,
+                      const FleetConfig& config) {
+  PS360_CHECK(config.sessions >= 1);
+  PS360_CHECK(config.start_spread_s >= 0.0);
+  PS360_CHECK(workload.test_user_count() > 0);
+
+  const std::size_t n = config.sessions;
+  const double cap_bytes_per_s =
+      config.access_cap_mbps > 0.0 ? config.access_cap_mbps * 1e6 / 8.0 : 0.0;
+
+  // Sessions, clients, and link slots are all preallocated; after this block
+  // the steady-state hot path performs no heap allocation (the zero-growth
+  // regression test pins EventLoop growth to 0).
+  std::vector<SessionRuntime> sessions(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SessionRuntime& rt = sessions[i];
+    const std::size_t test_user = i % workload.test_user_count();
+    rt.accountant = std::make_unique<sim::SessionAccountant>(
+        workload, test_user, config.scheme, config.session);
+    rt.client = std::make_unique<sim::StreamingClient>(
+        rt.accountant->client_config(), workload, rt.accountant->scheme(),
+        workload.test_trace(test_user));
+  }
+
+  // Peak queue: one start/flow event per session, one capacity event, plus
+  // stale completion predictions that drain as they are popped. A download
+  // rarely spans more than a few capacity breakpoints, so 8 slots per
+  // session plus slack keeps growth at zero with a wide margin.
+  EventLoop loop(8 * n + 64);
+  SharedLink link(link_trace, n);
+  FleetStats stats;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    util::Rng rng(util::derive_seed(config.seed, kStartJitterStream, i));
+    sessions[i].start_s =
+        config.start_spread_s > 0.0 ? rng.uniform(0.0, config.start_spread_s) : 0.0;
+    loop.schedule(sessions[i].start_s, i, EventKind::kSessionStart);
+  }
+  loop.schedule(link_trace.next_rate_change_after(0.0), kLinkSession,
+                EventKind::kCapacityChange);
+
+  // Plan the session's next segment and put the download on the link after
+  // its Eq. 6 wait (plan_next already advanced the client through the wait).
+  const auto begin_request = [&](std::size_t i, double t) {
+    SessionRuntime& rt = sessions[i];
+    rt.pending = rt.client->plan_next();
+    PS360_ASSERT(rt.pending.has_value());
+    loop.schedule(t + rt.pending->wait_s, i, EventKind::kFlowStart);
+  };
+
+  std::uint64_t scheduled_generation = 0;  // link generation last predicted at
+  std::size_t done_count = 0;
+
+  while (done_count < n) {
+    const Event event = loop.pop();
+    ++stats.events;
+    link.advance_to(event.t);
+
+    switch (event.kind) {
+      case EventKind::kSessionStart:
+        begin_request(event.session, event.t);
+        break;
+
+      case EventKind::kFlowStart: {
+        SessionRuntime& rt = sessions[event.session];
+        PS360_ASSERT(rt.pending.has_value());
+        rt.flow_started_at = event.t;
+        link.start(event.session, rt.pending->plan.option.bytes, cap_bytes_per_s);
+        break;
+      }
+
+      case EventKind::kFlowCompletion: {
+        if (event.generation != link.generation()) {
+          ++stats.stale_completions;  // rates changed since this prediction
+          break;
+        }
+        SessionRuntime& rt = sessions[event.session];
+        link.finish(event.session);
+        const double download_s = event.t - rt.flow_started_at;
+        const double stall = rt.client->complete_download(download_s);
+        rt.accountant->record(*rt.pending, download_s, stall);
+        rt.pending.reset();
+        if (rt.client->finished()) {
+          rt.done = true;
+          rt.finish_s = event.t;
+          ++done_count;
+        } else {
+          begin_request(event.session, event.t);
+        }
+        break;
+      }
+
+      case EventKind::kCapacityChange:
+        // advance_to already re-waterfilled from the new C(t); keep the
+        // breakpoint events coming.
+        loop.schedule(link_trace.next_rate_change_after(event.t), kLinkSession,
+                      EventKind::kCapacityChange);
+        break;
+    }
+
+    // Re-predict the earliest completion whenever the link's rates moved.
+    if (link.generation() != scheduled_generation && link.active_flows() > 0) {
+      const auto completion = link.next_completion();
+      PS360_ASSERT(completion.has_value());
+      loop.schedule(std::max(completion->t, event.t), completion->session,
+                    EventKind::kFlowCompletion, link.generation());
+      scheduled_generation = link.generation();
+    }
+  }
+
+  FleetResult result;
+  result.sessions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    FleetSessionResult out;
+    out.session = i;
+    out.test_user = i % workload.test_user_count();
+    out.start_s = sessions[i].start_s;
+    out.finish_s = sessions[i].finish_s;
+    out.result = sessions[i].accountant->finish();
+    result.sessions.push_back(std::move(out));
+    stats.makespan_s = std::max(stats.makespan_s, sessions[i].finish_s);
+  }
+  stats.queue_grow_events = loop.grow_events();
+  stats.queue_peak = loop.peak_size();
+  stats.reallocations = link.reallocations();
+  stats.delivered_bytes = link.delivered_bytes();
+  stats.offered_bytes =
+      stats.makespan_s > 0.0 ? link_trace.bytes_in(0.0, stats.makespan_s) : 0.0;
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace ps360::fleet

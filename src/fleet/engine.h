@@ -1,0 +1,91 @@
+// The fleet engine: N concurrent MPC-controlled streaming sessions
+// contending for one shared bottleneck link.
+//
+// Each session is a full sim::StreamingClient running the paper's
+// Section IV loop (predict viewport, predict bandwidth, solve the horizon,
+// download, advance Eq. 6) — but where simulate_session integrates a private
+// throughput trace, here every in-flight download receives its max-min fair
+// share of the SharedLink, so one client's byte budget changes everyone
+// else's download time. This is the regime server-side rate-adaptation
+// schemes target and the single-client evaluation of the paper assumes away.
+//
+// Determinism: one EventLoop drives the whole fleet; ties break by
+// (time, session_id, sequence); the only randomness is the session start
+// stagger, keyed off (seed, session_id). Identical results for any caller
+// thread count — the engine itself is single-threaded; fleet::FleetRunner
+// fans independent replications out instead.
+#pragma once
+
+#include <vector>
+
+#include "fleet/event_loop.h"
+#include "fleet/shared_link.h"
+#include "sim/accounting.h"
+
+namespace ps360::fleet {
+
+struct FleetConfig {
+  std::size_t sessions = 8;
+  std::uint64_t seed = 42;
+  sim::SchemeKind scheme = sim::SchemeKind::kOurs;
+  // Per-session access-link cap in Mbps (last-mile radio limit); <= 0
+  // disables it and the bottleneck alone divides throughput.
+  double access_cap_mbps = 0.0;
+  // Session arrivals are staggered uniformly over [0, start_spread_s],
+  // keyed off (seed, session_id); 0 starts every session at t = 0.
+  double start_spread_s = 1.0;
+  // Per-session template (device, MPC knobs, estimators). The session seed
+  // is shared — every client streams the same CDN-encoded files.
+  sim::SessionConfig session;
+};
+
+// Engine internals exposed for regression tests and capacity planning.
+struct FleetStats {
+  std::uint64_t events = 0;              // events processed
+  std::uint64_t stale_completions = 0;   // lazily discarded predictions
+  std::uint64_t queue_grow_events = 0;   // EventLoop heap reallocations
+  std::size_t queue_peak = 0;            // max simultaneous queued events
+  std::uint64_t reallocations = 0;       // link fair-share recomputes
+  double makespan_s = 0.0;               // last session finish time
+  double delivered_bytes = 0.0;          // bytes the link actually carried
+  double offered_bytes = 0.0;            // integral of C(t) over the makespan
+};
+
+struct FleetSessionResult {
+  std::size_t session = 0;
+  std::size_t test_user = 0;  // head trace replayed by this session
+  double start_s = 0.0;       // staggered entry time
+  double finish_s = 0.0;      // wall time of the last segment completion
+  sim::SessionResult result;  // same accounting as simulate_session
+};
+
+// Fleet-level aggregates (see FleetResult::metrics).
+struct FleetMetrics {
+  std::size_t sessions = 0;
+  double energy_per_session_mj = 0.0;  // mean of per-session Eq. 1 totals
+  double p50_energy_mj = 0.0;
+  double p95_energy_mj = 0.0;
+  double mean_qoe = 0.0;  // mean of per-session Eq. 2 session QoE
+  double p50_qoe = 0.0;
+  double p95_qoe = 0.0;
+  double stall_ratio = 0.0;        // Σ stall / (Σ stall + Σ playback)
+  double link_utilization = 0.0;   // delivered / offered bytes
+  double mean_download_s = 0.0;    // mean per-segment download time
+};
+
+struct FleetResult {
+  std::vector<FleetSessionResult> sessions;
+  FleetStats stats;
+
+  // Aggregate the per-session results (percentiles via util/stats).
+  FleetMetrics metrics(double segment_seconds) const;
+};
+
+// Run one fleet: `config.sessions` clients over `link_trace`, session i
+// replaying test user i mod test_user_count. Deterministic in (workload,
+// link_trace, config).
+FleetResult run_fleet(const sim::VideoWorkload& workload,
+                      const trace::NetworkTrace& link_trace,
+                      const FleetConfig& config);
+
+}  // namespace ps360::fleet

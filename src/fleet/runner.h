@@ -1,0 +1,65 @@
+// FleetRunner: independent fleet replications fanned out over a thread
+// pool, aggregated into fleet-level metrics, plus the fleet-size sweep used
+// to map where Ptile's energy advantage survives contention.
+//
+// Each replication r synthesizes its own bottleneck trace and start stagger
+// from seeds derived off (base seed, r) — the same (seed, stream) discipline
+// as the evaluation grid — and lands in result slot r, so aggregates are
+// bit-identical for any worker thread count (PS360_THREADS respected via
+// sim::resolve_thread_count).
+#pragma once
+
+#include <vector>
+
+#include "fleet/engine.h"
+
+namespace ps360::fleet {
+
+struct FleetRunOptions {
+  std::size_t replications = 3;
+  // Worker threads over replications; 0 = hardware concurrency. The
+  // PS360_THREADS environment variable overrides (resolve_thread_count).
+  std::size_t threads = 1;
+  // Bottleneck trace synthesis per replication (seed field is overridden
+  // with the derived per-replication seed). Scale mean/min/max to provision
+  // the link for the fleet size under study.
+  trace::NetworkSynthConfig link;
+};
+
+// Metrics pooled across replications (sessions pooled before percentiles).
+struct FleetAggregate {
+  std::size_t sessions = 0;
+  std::size_t replications = 0;
+  FleetMetrics metrics;     // percentiles over all replications' sessions
+  FleetStats stats;         // summed engine stats
+  double events_per_session = 0.0;
+};
+
+// Run `options.replications` independent fleets. Results are ordered by
+// replication index regardless of thread interleaving.
+std::vector<FleetResult> run_fleet_replications(const sim::VideoWorkload& workload,
+                                                const FleetConfig& config,
+                                                const FleetRunOptions& options);
+
+// Pool the per-session results of several replications into one aggregate.
+FleetAggregate aggregate_fleet(const std::vector<FleetResult>& results,
+                               double segment_seconds);
+
+// Convenience: replications + aggregation in one call.
+FleetAggregate run_fleet_aggregate(const sim::VideoWorkload& workload,
+                                   const FleetConfig& config,
+                                   const FleetRunOptions& options);
+
+struct FleetSweepPoint {
+  std::size_t sessions = 0;
+  FleetAggregate aggregate;
+};
+
+// Sweep fleet sizes (e.g. 1 → 256) over a fixed link provisioning: the
+// contention story in one call. `sizes` must be non-empty and positive.
+std::vector<FleetSweepPoint> sweep_fleet_sizes(const sim::VideoWorkload& workload,
+                                               const FleetConfig& base,
+                                               const std::vector<std::size_t>& sizes,
+                                               const FleetRunOptions& options);
+
+}  // namespace ps360::fleet

@@ -1,0 +1,150 @@
+// SharedLink implementation: fluid-flow bottleneck with single-pass max-min
+// water-filling over the (cap, session)-sorted active set, O(flows) per
+// event, and a generation counter that lazily invalidates completion
+// predictions.
+#include "fleet/shared_link.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "fleet/event_loop.h"
+#include "util/check.h"
+
+namespace ps360::fleet {
+
+namespace {
+// Residual bytes tolerated when a flow is declared complete: float error from
+// rate * dt integration is many orders of magnitude below one byte for any
+// realistic segment, so anything above this indicates an engine bug.
+constexpr double kCompletionSlackBytes = 1e-2;
+}  // namespace
+
+SharedLink::SharedLink(const trace::NetworkTrace& trace, std::size_t max_sessions)
+    : trace_(&trace), flows_(max_sessions) {
+  PS360_CHECK(max_sessions >= 1);
+  active_.reserve(max_sessions);
+}
+
+double SharedLink::capacity_bytes_per_s(double t) const {
+  return trace_->throughput_at(t) * 1e6 / 8.0;
+}
+
+double SharedLink::next_capacity_change() const {
+  return trace_->next_rate_change_after(now_);
+}
+
+double SharedLink::cap_key(std::size_t session) const {
+  const double cap = flows_[session].cap_bytes_per_s;
+  return cap > 0.0 ? cap : std::numeric_limits<double>::infinity();
+}
+
+void SharedLink::start(std::size_t session, double bytes, double cap_bytes_per_s) {
+  PS360_CHECK(session < flows_.size());
+  PS360_CHECK_MSG(!flows_[session].active, "session already has a flow in flight");
+  PS360_CHECK(bytes > 0.0);
+
+  Flow& flow = flows_[session];
+  flow.remaining_bytes = bytes;
+  flow.cap_bytes_per_s = cap_bytes_per_s;
+  flow.rate_bytes_per_s = 0.0;
+  flow.active = true;
+
+  // Keep the active set sorted by (cap, session) so reallocate() water-fills
+  // in one pass. Insertion is O(flows) — within the per-event budget.
+  const auto pos = std::upper_bound(
+      active_.begin(), active_.end(), session,
+      [&](std::size_t a, std::size_t b) {
+        const double ka = cap_key(a), kb = cap_key(b);
+        if (ka != kb) return ka < kb;
+        return a < b;
+      });
+  active_.insert(pos, session);
+  reallocate();
+  ++generation_;  // a new flow always invalidates completion predictions
+}
+
+void SharedLink::advance_to(double t) {
+  PS360_CHECK_MSG(t >= now_, "the link cannot move backwards in time");
+  const double dt = t - now_;
+  if (dt > 0.0) {
+    for (const std::size_t session : active_) {
+      Flow& flow = flows_[session];
+      const double moved = flow.rate_bytes_per_s * dt;
+      delivered_bytes_ += std::min(moved, flow.remaining_bytes);
+      flow.remaining_bytes = std::max(flow.remaining_bytes - moved, 0.0);
+    }
+    now_ = t;
+  }
+  reallocate();
+}
+
+void SharedLink::reallocate() {
+  if (active_.empty()) return;
+  ++reallocations_;
+  // Single-pass max-min water-filling over the (cap, session)-sorted active
+  // set: the flow with the smallest cap either binds (takes its cap, the
+  // surplus re-divides among the rest) or nobody binds and everyone gets the
+  // equal share.
+  double remaining_capacity = capacity_bytes_per_s(now_);
+  std::size_t unserved = active_.size();
+  bool changed = false;
+  for (const std::size_t session : active_) {
+    Flow& flow = flows_[session];
+    const double share = remaining_capacity / static_cast<double>(unserved);
+    const double rate =
+        flow.cap_bytes_per_s > 0.0 ? std::min(flow.cap_bytes_per_s, share) : share;
+    if (rate != flow.rate_bytes_per_s) {
+      flow.rate_bytes_per_s = rate;
+      changed = true;
+    }
+    remaining_capacity -= rate;
+    --unserved;
+  }
+  if (changed) ++generation_;
+}
+
+void SharedLink::finish(std::size_t session) {
+  PS360_CHECK(session < flows_.size());
+  Flow& flow = flows_[session];
+  PS360_CHECK_MSG(flow.active, "no flow in flight for this session");
+  PS360_ASSERT_MSG(flow.remaining_bytes <= kCompletionSlackBytes,
+                   "flow finished with bytes still outstanding");
+  flow.active = false;
+  flow.remaining_bytes = 0.0;
+  flow.rate_bytes_per_s = 0.0;
+  active_.erase(std::find(active_.begin(), active_.end(), session));
+  reallocate();
+  ++generation_;
+}
+
+std::optional<SharedLink::Completion> SharedLink::next_completion() const {
+  if (active_.empty()) return std::nullopt;
+  // Scan flows in ascending session order so float-equal completion times
+  // break deterministically on the smaller session id.
+  double best_dt = std::numeric_limits<double>::infinity();
+  std::size_t best_session = kLinkSession;
+  for (std::size_t session = 0; session < flows_.size(); ++session) {
+    const Flow& flow = flows_[session];
+    if (!flow.active) continue;
+    PS360_ASSERT(flow.rate_bytes_per_s > 0.0);
+    const double dt = flow.remaining_bytes / flow.rate_bytes_per_s;
+    if (dt < best_dt) {
+      best_dt = dt;
+      best_session = session;
+    }
+  }
+  return Completion{now_ + best_dt, best_session};
+}
+
+double SharedLink::remaining_bytes(std::size_t session) const {
+  PS360_CHECK(session < flows_.size());
+  return flows_[session].remaining_bytes;
+}
+
+double SharedLink::rate_bytes_per_s(std::size_t session) const {
+  PS360_CHECK(session < flows_.size());
+  return flows_[session].rate_bytes_per_s;
+}
+
+}  // namespace ps360::fleet

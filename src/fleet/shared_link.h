@@ -1,0 +1,99 @@
+// Fluid model of one shared bottleneck link.
+//
+// N in-flight downloads (flows) divide the instantaneous capacity C(t) — a
+// piecewise-constant trace::NetworkTrace — by max-min fair share: water-fill
+// the capacity over the flows in ascending order of their per-flow access
+// caps, so capped flows keep min(cap, fair share) and the surplus is split
+// equally among the rest. With no caps this degenerates to C(t)/N, the
+// classic processor-sharing model of a TCP bottleneck.
+//
+// The link is advanced by an exterior event loop: rates are constant between
+// events, advance_to() integrates every flow forward and re-waterfills, and
+// next_completion() predicts the earliest finish at the current rates. Every
+// change that can invalidate that prediction bumps generation(), which the
+// engine uses to lazily discard stale completion events.
+//
+// Invariants (differential-tested against a brute-force fluid simulation):
+//  * fair-share recompute is O(flows) per event — the active set is kept
+//    sorted by (cap, session) so water-filling is a single pass;
+//  * Σ rates == min(C(t), Σ caps) whenever a flow is uncapped or capacity
+//    binds — the link never invents or wastes deliverable capacity;
+//  * determinism: the active order is (cap, session), never insertion or
+//    pointer order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "trace/network_trace.h"
+
+namespace ps360::fleet {
+
+class SharedLink {
+ public:
+  struct Completion {
+    double t = 0.0;
+    std::size_t session = 0;
+  };
+
+  // `trace` must outlive the link; Mbps samples are converted to bytes/s.
+  // `max_sessions` bounds the session ids (flow slots are preallocated).
+  SharedLink(const trace::NetworkTrace& trace, std::size_t max_sessions);
+
+  double now() const { return now_; }
+  std::size_t active_flows() const { return active_.size(); }
+  std::uint64_t generation() const { return generation_; }
+  double delivered_bytes() const { return delivered_bytes_; }
+  std::uint64_t reallocations() const { return reallocations_; }
+
+  // Current fair-share capacity at time t, bytes/s.
+  double capacity_bytes_per_s(double t) const;
+
+  // Earliest time strictly after now() at which C(t) may change.
+  double next_capacity_change() const;
+
+  // Register a flow of `bytes` (> 0) for `session` starting at now().
+  // `cap_bytes_per_s` <= 0 means uncapped. One flow per session at a time.
+  void start(std::size_t session, double bytes, double cap_bytes_per_s);
+
+  // Integrate every in-flight flow forward to t (>= now()) at the current
+  // rates, then re-waterfill from C(t). The caller must not step across a
+  // capacity breakpoint or a flow completion (that is what the event loop's
+  // kCapacityChange / kFlowCompletion events are for).
+  void advance_to(double t);
+
+  // Remove `session`'s flow; its remaining bytes must have drained to ~0.
+  void finish(std::size_t session);
+
+  // Earliest completion if rates stay constant; ties break on the smaller
+  // session id. nullopt when no flow is in flight.
+  std::optional<Completion> next_completion() const;
+
+  // Test/metrics accessors.
+  double remaining_bytes(std::size_t session) const;
+  double rate_bytes_per_s(std::size_t session) const;
+
+ private:
+  struct Flow {
+    double remaining_bytes = 0.0;
+    double cap_bytes_per_s = 0.0;  // <= 0: uncapped
+    double rate_bytes_per_s = 0.0;
+    bool active = false;
+  };
+
+  // Water-fill C(now) over the active flows (ascending cap order). Bumps
+  // generation_ when any rate changed.
+  void reallocate();
+  double cap_key(std::size_t session) const;
+
+  const trace::NetworkTrace* trace_;
+  std::vector<Flow> flows_;          // indexed by session id
+  std::vector<std::size_t> active_;  // session ids sorted by (cap, session)
+  double now_ = 0.0;
+  std::uint64_t generation_ = 0;
+  double delivered_bytes_ = 0.0;
+  std::uint64_t reallocations_ = 0;
+};
+
+}  // namespace ps360::fleet

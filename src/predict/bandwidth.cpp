@@ -12,7 +12,11 @@ HarmonicMeanEstimator::HarmonicMeanEstimator(std::size_t window,
 }
 
 void HarmonicMeanEstimator::observe(double bytes_per_s) {
-  PS360_CHECK(bytes_per_s > 0.0);
+  // A zero (or negative) rate would poison the harmonic mean: 1/rate is
+  // infinite or sign-flipped, and the estimate never recovers within the
+  // window. Reject loudly instead.
+  PS360_CHECK_MSG(bytes_per_s > 0.0,
+                  "observed download rate must be > 0 bytes/s");
   history_.push_back(bytes_per_s);
   if (history_.size() > window_) history_.pop_front();
 }

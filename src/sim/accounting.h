@@ -1,0 +1,61 @@
+// Per-session accounting shared by every simulator front-end.
+//
+// simulate_session (one client over a private trace) and the fleet engine
+// (many clients contending for a shared link) drive the same per-segment
+// loop; what differs is only *where the download time comes from*. This
+// class owns everything else: the per-session models (encoding, Qo, QoE,
+// device), the scheme instance, and the delivered-QoE/energy bookkeeping of
+// Section V — so a fleet-of-one is the single-session simulator by
+// construction, not by parallel reimplementation.
+//
+// Protocol: construct, drive the client with client_config()/scheme(), call
+// record() once per completed segment in order, then finish() exactly once.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/client.h"
+#include "sim/session.h"
+
+namespace ps360::sim {
+
+class SessionAccountant {
+ public:
+  // `workload` must outlive the accountant; `test_user` indexes the held-out
+  // users (see VideoWorkload::test_trace).
+  SessionAccountant(const VideoWorkload& workload, std::size_t test_user,
+                    SchemeKind scheme, const SessionConfig& config);
+
+  // The scheme instance the client should plan against.
+  const Scheme& scheme() const { return *scheme_; }
+
+  // The ClientConfig matching this session's SessionConfig.
+  ClientConfig client_config() const;
+
+  // Account segment `request.segment`: delivered QoE against the user's
+  // ground-truth viewport, Eq. 1 energy, and the per-segment record.
+  // Segments must arrive in order, each exactly once.
+  void record(const ClientRequest& request, double download_s, double stall_s);
+
+  // Aggregate into the SessionResult (Eq. 2 session QoE, means). Call once,
+  // after the final record().
+  SessionResult finish();
+
+ private:
+  const VideoWorkload* workload_;
+  std::size_t test_user_;
+  SessionConfig config_;
+  video::EncodingModel encoding_;
+  qoe::QoModel qo_model_;
+  qoe::QoEModel qoe_model_;
+  std::unique_ptr<Scheme> scheme_;
+  const power::DeviceModel* device_;
+
+  SessionResult result_;
+  std::vector<qoe::SegmentQoE> qoe_segments_;
+  double prev_actual_qo_ = -1.0;
+  bool finished_ = false;
+};
+
+}  // namespace ps360::sim

@@ -18,7 +18,7 @@ StreamingClient::StreamingClient(ClientConfig config, const VideoWorkload& workl
                                                 config_.predictor)),
       bandwidth_(predict::make_bandwidth_estimator(config_.bandwidth_kind,
                                                    config_.bandwidth_window,
-                                                   config_.initial_bandwidth_bps)) {
+                                                   config_.initial_bandwidth_bytes_per_s)) {
   PS360_CHECK(config_.mpc.segment_seconds > 0.0);
   PS360_CHECK(config_.mpc.buffer_threshold_s > 0.0);
 }

@@ -1,13 +1,9 @@
 #include "sim/session.h"
 
+#include "sim/accounting.h"
 #include "sim/client.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "predict/bandwidth.h"
 #include "util/check.h"
-#include "util/units.h"
 
 namespace ps360::sim {
 
@@ -17,135 +13,22 @@ SessionResult simulate_session(const VideoWorkload& workload, std::size_t test_u
                                const SessionConfig& config) {
   PS360_CHECK(test_user < workload.test_user_count());
 
-  const double L = config.mpc.segment_seconds;
-  const double beta = config.mpc.buffer_threshold_s;
-  PS360_CHECK(L > 0.0 && beta > 0.0);
-
-  // Models for this session.
-  video::EncodingConfig enc_cfg = config.encoding;
-  enc_cfg.seed = config.seed;
-  const video::EncodingModel encoding(enc_cfg);
-  const qoe::QoModel qo_model(config.qo_params, config.qoe_bitrate_scale);
-  const qoe::QoEModel qoe_model(config.mpc.weights);
-  const power::DeviceModel& device = power::device_model(config.device);
-
-  SchemeEnv env;
-  env.workload = &workload;
-  env.encoding = &encoding;
-  env.qo_model = &qo_model;
-  env.device = &device;
-  env.mpc = config.mpc;
-  env.mpc_horizon = config.mpc_horizon;
-  env.ptile_min_coverage = config.ptile_min_coverage;
-  env.fov_deg = workload.config().fov_deg;
-  env.tile_overlap_threshold = config.tile_overlap_threshold;
-  const auto scheme = make_scheme(scheme_kind, env);
-
+  // The accountant owns the per-session models and the delivered-QoE/energy
+  // bookkeeping (shared with the fleet engine); this function supplies the
+  // network: each planned download takes whatever the throughput trace says.
+  SessionAccountant accountant(workload, test_user, scheme_kind, config);
   const trace::HeadTrace& head = workload.test_trace(test_user);
-  const std::size_t n_segments = workload.segment_count();
-
-  SessionResult result;
-  result.scheme = scheme_kind;
-  result.segments.reserve(n_segments);
-
-  // The client runs the paper's per-segment loop; this function supplies the
-  // network (the download time over the throughput trace) and accounts
-  // energy and delivered QoE.
-  ClientConfig client_config;
-  client_config.mpc = config.mpc;
-  client_config.mpc_horizon = config.mpc_horizon;
-  client_config.bandwidth_window = config.bandwidth_window;
-  client_config.initial_bandwidth_bps = config.initial_bandwidth_bps;
-  client_config.download_fov_padding_deg = config.download_fov_padding_deg;
-  client_config.predictor = config.predictor;
-  client_config.predictor_kind = config.predictor_kind;
-  client_config.bandwidth_kind = config.bandwidth_kind;
-  StreamingClient client(client_config, workload, *scheme, head);
-
-  double prev_actual_qo = -1.0;  // delivered Qo_{k-1}
-  std::vector<qoe::SegmentQoE> qoe_segments;
-  qoe_segments.reserve(n_segments);
+  StreamingClient client(accountant.client_config(), workload,
+                         accountant.scheme(), head);
 
   while (auto request = client.plan_next()) {
-    const std::size_t k = request->segment;
-    const DownloadPlan& plan = request->plan;
-
-    // Download over the variable-rate trace.
     const double download_s =
-        network.time_to_download(plan.option.bytes, client.wall_time_s());
+        network.time_to_download(request->plan.option.bytes, client.wall_time_s());
     PS360_ASSERT(download_s > 0.0);
-    const double buffer_at_request = request->buffer_at_request_s;
     const double stall = client.complete_download(download_s);
-
-    // Delivered quality against the ground-truth viewport.
-    const geometry::Viewport actual = workload.actual_viewport(test_user, k);
-    const double cov = std::clamp(scheme->coverage(plan, actual), 0.0, 1.0);
-    // Perceptual weight of the covered area: uncovered slivers sit at the
-    // viewport periphery where visual acuity and attention are low (the same
-    // eccentricity effect behind Eq. 4), so the blend weighting is
-    // smoothstep-shaped rather than proportional to raw area.
-    const double cov_w = cov * cov * (3.0 - 2.0 * cov);
-    const auto& feat = workload.features(k);
-    const double actual_sfov = workload.actual_switching_speed(test_user, k);
-
-    double qo_hq = qo_model.qo(feat.si, feat.ti, encoding.fov_bitrate_mbps(
-                                                     plan.option.quality, feat));
-    if (plan.frame_ratio < 1.0) {
-      qo_hq *= qoe::QoModel::frame_rate_factor(
-          qoe::QoModel::alpha(actual_sfov, feat.ti), plan.frame_ratio);
-    }
-    const double qo_bg =
-        qo_model.qo(feat.si, feat.ti, encoding.fov_bitrate_mbps(1, feat));
-    const double qo_eff = cov_w * qo_hq + (1.0 - cov_w) * qo_bg;
-
-    const qoe::SegmentQoE seg_qoe =
-        k == 0 ? qoe_model.segment(qo_eff, qo_eff, util::Seconds(0.0),
-                                   util::Seconds(beta))
-               : qoe_model.segment(qo_eff, prev_actual_qo,
-                                   util::Seconds(download_s),
-                                   util::Seconds(buffer_at_request));
-    qoe_segments.push_back(seg_qoe);
-
-    const power::SegmentEnergy energy =
-        power::segment_energy(device, plan.option.profile,
-                              util::Seconds(download_s), plan.option.fps,
-                              util::Seconds(L));
-
-    SegmentRecord record;
-    record.index = k;
-    record.quality = plan.option.quality;
-    record.frame_index = plan.option.frame_index;
-    record.fps = plan.option.fps;
-    record.bytes = plan.option.bytes;
-    record.download_s = download_s;
-    record.stall_s = stall;
-    record.buffer_before_s = buffer_at_request;
-    record.coverage = cov;
-    record.used_ptile = plan.used_ptile;
-    record.mpc_feasible = plan.mpc_feasible;
-    record.qoe = seg_qoe;
-    record.energy = energy;
-    result.segments.push_back(record);
-
-    result.energy += energy;
-    result.total_stall_s += stall;
-    if (stall > 0.0) ++result.rebuffer_events;
-    result.mean_quality += static_cast<double>(plan.option.quality);
-    result.mean_fps += plan.option.fps;
-    result.mean_coverage += cov;
-    result.ptile_usage += plan.used_ptile ? 1.0 : 0.0;
-    result.total_bytes += plan.option.bytes;
-
-    prev_actual_qo = qo_eff;
+    accountant.record(*request, download_s, stall);
   }
-
-  const double n = static_cast<double>(std::max<std::size_t>(n_segments, 1));
-  result.mean_quality /= n;
-  result.mean_fps /= n;
-  result.mean_coverage /= n;
-  result.ptile_usage /= n;
-  result.qoe = qoe::SessionQoE::aggregate(qoe_segments);
-  return result;
+  return accountant.finish();
 }
 
 SessionResult simulate_all_test_users(const VideoWorkload& workload,

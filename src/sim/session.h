@@ -38,7 +38,7 @@ struct SessionConfig {
   core::MpcConfig mpc;                 // L, β, quantum, ε, (ω_v, ω_r)
   std::size_t mpc_horizon = 5;         // H
   std::size_t bandwidth_window = 5;    // harmonic-mean window (segments)
-  double initial_bandwidth_bps = 500e3;  // estimator prior, bytes/s
+  double initial_bandwidth_bytes_per_s = 500e3;  // estimator prior
   double ptile_min_coverage = 0.85;
   double tile_overlap_threshold = 0.25;  // FoV-tile selection rule
   // Clients fetch the predicted FoV plus a safety margin on every side so

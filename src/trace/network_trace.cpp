@@ -45,6 +45,31 @@ double NetworkTrace::throughput_at(double t) const {
   return samples_[index_at(wrap_time(t))].mbps;
 }
 
+double NetworkTrace::next_rate_change_after(double t) const {
+  // Before the trace starts the rate is clamped to the first sample, so the
+  // first possible change is that sample's interval end.
+  if (t < samples_.front().t) {
+    return samples_.size() >= 2 ? samples_[1].t : end_time_;
+  }
+  const double wt = wrap_time(t);
+  const std::size_t idx = index_at(wt);
+  // Boundary of the interval containing wt. When t sits on (or within float
+  // dust of) that boundary, step one interval further — "strictly after".
+  double dt = ((idx + 1 < samples_.size()) ? samples_[idx + 1].t : end_time_) - wt;
+  if (dt <= 1e-12) {
+    if (idx + 1 < samples_.size()) {
+      // Next interval is [samples_[idx+1].t, following boundary).
+      const double after =
+          (idx + 2 < samples_.size()) ? samples_[idx + 2].t : end_time_;
+      dt += after - samples_[idx + 1].t;
+    } else {
+      // Wrapping past end_time(): the trace restarts at its first interval.
+      dt += (samples_.size() >= 2 ? samples_[1].t : end_time_) - samples_.front().t;
+    }
+  }
+  return t + dt;
+}
+
 double NetworkTrace::bytes_in(double t0, double t1) const {
   PS360_CHECK(t1 >= t0);
   // Integrate piecewise-constant Mbps over wall time; step through samples,

@@ -33,6 +33,11 @@ class NetworkTrace {
   // and wraps around for t beyond the trace end so long sessions can loop).
   double throughput_at(double t) const;
 
+  // Earliest time strictly after t at which throughput_at may change value
+  // (the next sample boundary, wrap-aware). The fleet engine schedules its
+  // capacity-change events here so flow rates are constant between events.
+  double next_rate_change_after(double t) const;
+
   // Bytes deliverable in [t0, t1] (integrates the piecewise-constant rate).
   double bytes_in(double t0, double t1) const;
 

@@ -122,6 +122,33 @@ TEST(StreamingClientTest, ProtocolMisuseThrows) {
   EXPECT_NO_THROW(client.complete_download(0.5));
 }
 
+// Misuse must fail loudly *and* leave the client's buffer/wall state exactly
+// where it was, so a caller that catches the exception can recover.
+TEST(StreamingClientTest, MisuseDoesNotCorruptState) {
+  const ClientFixture fixture;
+  auto client = fixture.make_client();
+  ASSERT_TRUE(client.plan_next().has_value());
+  const double buffer_before = client.buffer_s();
+  const double wall_before = client.wall_time_s();
+  const std::size_t segment_before = client.next_segment();
+
+  // plan_next twice without completing, and completing with a negative or
+  // zero download time, are protocol violations.
+  EXPECT_THROW(client.plan_next(), std::invalid_argument);
+  EXPECT_THROW(client.complete_download(-1.0), std::invalid_argument);
+  EXPECT_THROW(client.complete_download(0.0), std::invalid_argument);
+
+  EXPECT_DOUBLE_EQ(client.buffer_s(), buffer_before);
+  EXPECT_DOUBLE_EQ(client.wall_time_s(), wall_before);
+  EXPECT_EQ(client.next_segment(), segment_before);
+
+  // The in-flight download is still completable and the loop proceeds.
+  EXPECT_NO_THROW(client.complete_download(0.5));
+  EXPECT_EQ(client.next_segment(), segment_before + 1);
+  ASSERT_TRUE(client.plan_next().has_value());
+  EXPECT_NO_THROW(client.complete_download(0.5));
+}
+
 TEST(StreamingClientTest, SlowBandwidthEstimateLowersQuality) {
   const ClientFixture fixture;
   auto fast_client = fixture.make_client();

@@ -158,6 +158,18 @@ TEST(HarmonicEstimatorTest, RejectsInvalid) {
   EXPECT_THROW(estimator.observe(0.0), std::invalid_argument);
 }
 
+// A non-positive rate must not poison the harmonic mean (1/0 would make the
+// estimate NaN/0 for the rest of the window); the estimator rejects it and
+// keeps its previous state intact.
+TEST(HarmonicEstimatorTest, NonPositiveRateDoesNotPoisonState) {
+  HarmonicMeanEstimator estimator(5);
+  estimator.observe(8.0);
+  EXPECT_THROW(estimator.observe(0.0), std::invalid_argument);
+  EXPECT_THROW(estimator.observe(-4.0), std::invalid_argument);
+  EXPECT_EQ(estimator.observations(), 1u);
+  EXPECT_DOUBLE_EQ(estimator.estimate(), 8.0);
+}
+
 // ------------------------------------------------- Alternative predictors
 
 TEST(PredictorKindTest, NamesAndHoldSemantics) {

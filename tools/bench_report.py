@@ -1,16 +1,19 @@
 #!/usr/bin/env python3
-"""Summarize google-benchmark JSON output (the BENCH_mpc.json perf trajectory).
+"""Summarize google-benchmark JSON output (the tracked perf trajectories).
 
 Usage:
-  tools/bench_report.py BENCH_mpc.json [--baseline bench/results/BENCH_mpc_before.json]
+  tools/bench_report.py BENCH_mpc.json [BENCH_fleet.json ...] \\
+      [--baseline bench/results/BENCH_mpc_before.json]
 
-Prints one row per benchmark with its real time, and — when a baseline file
-is given — the baseline time and the speedup (baseline / current). CI runs
-this after `bench_micro_solver --benchmark_out=BENCH_mpc.json` so every PR
-records how the solver's perf moved against the committed pre-refactor
-numbers. Exit code is 1 if the report cannot be produced (missing or corrupt
-file) and 0 otherwise; regressions are reported, not failed, since shared CI
-runners are too noisy for a hard gate.
+Accepts any number of results files and prints one table per file, one row
+per benchmark with its real time. When a baseline file is given, rows whose
+names appear in the baseline also get the baseline time and the speedup
+(baseline / current); files with no overlap simply omit those columns. CI
+runs this after `bench_micro_solver --benchmark_out=BENCH_mpc.json` and
+`bench_fleet --benchmark_out=BENCH_fleet.json` so every PR records how the
+solver and the fleet engine moved. Exit code is 1 if any report cannot be
+produced (missing or corrupt file) and 0 otherwise; regressions are
+reported, not failed, since shared CI runners are too noisy for a hard gate.
 """
 
 from __future__ import annotations
@@ -45,23 +48,36 @@ def fmt_time(ns: float) -> str:
     return f"{ns:.0f} ns"
 
 
+def print_table(title: str, current: dict[str, float],
+                baseline: dict[str, float]) -> None:
+    # Only show baseline columns when this file has rows the baseline knows.
+    compare = baseline if any(n in baseline for n in current) else {}
+    name_w = max(len(n) for n in current)
+    header = f"{'benchmark':<{name_w}}  {'time':>10}"
+    if compare:
+        header += f"  {'baseline':>10}  {'speedup':>8}"
+    print(f"== {title}")
+    print(header)
+    print("-" * len(header))
+    for name, time_ns in current.items():
+        row = f"{name:<{name_w}}  {fmt_time(time_ns):>10}"
+        if compare:
+            base_ns = compare.get(name)
+            if base_ns is None:
+                row += f"  {'-':>10}  {'-':>8}"
+            else:
+                row += f"  {fmt_time(base_ns):>10}  {base_ns / time_ns:>7.2f}x"
+        print(row)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("results", help="google-benchmark JSON output")
+    parser.add_argument("results", nargs="+", help="google-benchmark JSON output file(s)")
     parser.add_argument(
         "--baseline",
         help="earlier google-benchmark JSON to compare against (speedup = baseline/current)",
     )
     args = parser.parse_args()
-
-    try:
-        current = load_benchmarks(pathlib.Path(args.results))
-    except (OSError, ValueError, KeyError) as err:
-        print(f"bench_report.py: cannot read {args.results}: {err}", file=sys.stderr)
-        return 1
-    if not current:
-        print(f"bench_report.py: no benchmarks in {args.results}", file=sys.stderr)
-        return 1
 
     baseline: dict[str, float] = {}
     if args.baseline:
@@ -71,22 +87,22 @@ def main() -> int:
             print(f"bench_report.py: cannot read {args.baseline}: {err}", file=sys.stderr)
             return 1
 
-    name_w = max(len(n) for n in current)
-    header = f"{'benchmark':<{name_w}}  {'time':>10}"
-    if baseline:
-        header += f"  {'baseline':>10}  {'speedup':>8}"
-    print(header)
-    print("-" * len(header))
-    for name, time_ns in current.items():
-        row = f"{name:<{name_w}}  {fmt_time(time_ns):>10}"
-        if baseline:
-            base_ns = baseline.get(name)
-            if base_ns is None:
-                row += f"  {'-':>10}  {'-':>8}"
-            else:
-                row += f"  {fmt_time(base_ns):>10}  {base_ns / time_ns:>7.2f}x"
-        print(row)
-    return 0
+    status = 0
+    for index, results in enumerate(args.results):
+        try:
+            current = load_benchmarks(pathlib.Path(results))
+        except (OSError, ValueError, KeyError) as err:
+            print(f"bench_report.py: cannot read {results}: {err}", file=sys.stderr)
+            status = 1
+            continue
+        if not current:
+            print(f"bench_report.py: no benchmarks in {results}", file=sys.stderr)
+            status = 1
+            continue
+        if index > 0:
+            print()
+        print_table(results, current, baseline)
+    return status
 
 
 if __name__ == "__main__":

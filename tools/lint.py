@@ -14,6 +14,10 @@ Checked invariants:
   4. Contract checks: every .cpp in the migrated modules validates inputs with
      PS360_CHECK / PS360_ASSERT (util/check.h).
   5. `using namespace std;` is banned everywhere.
+  6. Fleet determinism: src/fleet is a deterministic discrete-event engine, so
+     wall-clock time (`std::chrono::system_clock`, `steady_clock::now`) and
+     non-reproducible entropy are banned there, and every fleet source starts
+     with a `//` header comment stating its contract.
 
 Exit code 0 when clean, 1 with one line per violation otherwise.
 """
@@ -46,7 +50,15 @@ UNIT_SAFE_HEADERS = [
 # `double lon_deg,` / `double a_rad)` — a raw-double angle parameter.
 RAW_ANGLE_PARAM = re.compile(r"\bdouble\s+\w*_(?:deg|rad)\s*[,)=]")
 
-CONTRACT_MODULES = ["src/geometry", "src/power", "src/qoe"]
+CONTRACT_MODULES = ["src/geometry", "src/power", "src/qoe", "src/fleet"]
+
+# The fleet engine must be replayable: no wall-clock reads, no OS entropy.
+FLEET_BANNED = [
+    (re.compile(r"std::chrono::system_clock"), "std::chrono::system_clock"),
+    (re.compile(r"std::chrono::steady_clock"), "std::chrono::steady_clock"),
+    (re.compile(r"std::chrono::high_resolution_clock"),
+     "std::chrono::high_resolution_clock"),
+]
 
 USING_NAMESPACE_STD = re.compile(r"^\s*using\s+namespace\s+std\s*;")
 
@@ -113,6 +125,25 @@ def main() -> int:
                     f"{header}:{lineno}: raw 'double ..._deg/_rad' parameter in a "
                     "unit-safe public header; use util::Degrees / util::Radians"
                 )
+
+    # 6. Fleet determinism: clock bans + leading contract comment.
+    fleet_root = repo / "src/fleet"
+    for path in sorted(fleet_root.glob("*")):
+        if path.suffix not in (".h", ".cpp"):
+            continue
+        raw = path.read_text(encoding="utf-8")
+        text = strip_comments(raw)
+        for pattern, label in FLEET_BANNED:
+            if pattern.search(text):
+                violations.append(
+                    f"{rel(path)}: uses {label}; the fleet engine is replayable "
+                    "— simulated time only, never wall-clock time"
+                )
+        if not raw.lstrip().startswith("//"):
+            violations.append(
+                f"{rel(path)}: fleet sources must open with a '//' header "
+                "comment stating the file's contract"
+            )
 
     # 4. Contract checks in migrated modules.
     for module in CONTRACT_MODULES:
