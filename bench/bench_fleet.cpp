@@ -17,6 +17,9 @@
 
 #include "fleet/engine.h"
 #include "fleet/shared_link.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/tracer.h"
 #include "sim/workload.h"
 #include "trace/video_catalog.h"
 
@@ -70,6 +73,34 @@ void BM_FleetRun(benchmark::State& state) {
                              1, static_cast<std::uint64_t>(state.iterations()))));
 }
 BENCHMARK(BM_FleetRun)->Arg(1)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// Observer-on variant: the identical fleet with a metrics registry and a
+// bounded tracer attached to every session and the engine. The delta to
+// BM_FleetRun is the full observability tax and must stay within noise.
+// Picked up by the CI BM_FleetRun filter (substring regex).
+void BM_FleetRunObserved(benchmark::State& state) {
+  const std::size_t sessions = static_cast<std::size_t>(state.range(0));
+  const sim::VideoWorkload& workload = bench_workload();
+  const trace::NetworkTrace link = bench_link(sessions);
+  fleet::FleetConfig config;
+  config.sessions = sessions;
+  config.start_spread_s = 2.0;
+  for (auto _ : state) {
+    obs::MetricsRegistry metrics;
+    obs::EventTracer tracer(1 << 14);
+    obs::Observer observer{&metrics, &tracer};
+    config.observer = &observer;
+    const fleet::FleetResult result = fleet::run_fleet(workload, link, config);
+    benchmark::DoNotOptimize(result.sessions.data());
+    benchmark::DoNotOptimize(metrics.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sessions));
+  state.counters["sessions_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * sessions),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FleetRunObserved)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
 
 // The fair-share recompute in isolation: start/finish churn over a standing
 // pool of flows, exercising the O(flows) water-fill per event.

@@ -11,16 +11,81 @@
 // Build & run:
 //   cmake -B build && cmake --build build
 //   ./build/examples/fleet_contention
+//
+// With `--trace PATH` it instead runs one observed 16-session fleet and
+// writes the event trace to PATH as JSON-lines (plus the merged metrics
+// registry to PATH.metrics.json); render either with tools/trace_report.py.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "fleet/runner.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/tracer.h"
 #include "sim/workload.h"
 #include "trace/video_catalog.h"
 
 using namespace ps360;
 
-int main() {
+namespace {
+
+// One observed fleet run at the provisioning point; dumps the trace JSONL
+// and the metrics JSON for tools/trace_report.py.
+int run_traced(const sim::VideoWorkload& workload,
+               const fleet::FleetConfig& base,
+               const fleet::FleetRunOptions& base_options,
+               const std::string& path) {
+  obs::MetricsRegistry metrics;
+  obs::EventTracer tracer(1 << 18);
+  obs::Observer observer{&metrics, &tracer};
+
+  fleet::FleetConfig config = base;
+  config.sessions = 16;
+  config.observer = &observer;
+  fleet::FleetRunOptions options = base_options;
+  options.replications = 1;
+  const fleet::FleetAggregate agg =
+      fleet::run_fleet_aggregate(workload, config, options);
+
+  std::ofstream jsonl(path);
+  if (!jsonl.good()) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  tracer.export_jsonl(jsonl);
+  const std::string metrics_path = path + ".metrics.json";
+  std::ofstream json(metrics_path);
+  metrics.write_json(json);
+  json << "\n";
+
+  std::printf("traced %zu sessions: %llu events, %llu trace records "
+              "(%llu dropped)\n",
+              config.sessions,
+              static_cast<unsigned long long>(agg.stats.events),
+              static_cast<unsigned long long>(tracer.recorded()),
+              static_cast<unsigned long long>(tracer.dropped()));
+  std::printf("wrote %s and %s\n", path.c_str(), metrics_path.c_str());
+  std::printf("render: python3 tools/trace_report.py %s --chrome trace.json\n",
+              path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace PATH]\n", argv[0]);
+      return 1;
+    }
+  }
+
   // A short focused clip keeps 170+ simulated sessions quick.
   trace::VideoInfo video = trace::test_videos()[1];
   video.duration_s = 30.0;
@@ -40,6 +105,8 @@ int main() {
 
   fleet::FleetConfig base;
   base.start_spread_s = 2.0;
+
+  if (!trace_path.empty()) return run_traced(workload, base, options, trace_path);
 
   const std::vector<std::size_t> sizes = {1, 4, 16, 64};
   std::printf("link: %.0f Mbps mean, %zu replications per point\n\n",

@@ -82,6 +82,16 @@ MpcController::MpcController(MpcConfig config, const power::DeviceModel& device,
   PS360_CHECK(config_.stall_penalty_per_s >= 0.0);
 }
 
+void MpcController::set_observer(obs::Observer* observer, std::uint32_t session) {
+  observer_ = observer;
+  obs_session_ = session;
+  if (observer_ != nullptr && observer_->metrics != nullptr) {
+    id_decides_ = observer_->metrics->counter("mpc.decides");
+    id_relaxed_ = observer_->metrics->counter("mpc.relaxed_fallbacks");
+    id_infeasible_ = observer_->metrics->counter("mpc.infeasible");
+  }
+}
+
 power::SegmentEnergy MpcController::option_energy(const QualityOption& option,
                                                   double bandwidth_bytes_per_s) const {
   PS360_CHECK(bandwidth_bytes_per_s > 0.0);
@@ -326,6 +336,7 @@ MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
   };
 
   MpcDecision decision;
+  bool relaxed_fallback = false;
   if (!run(/*strict=*/energy_mode, decision)) {
     // No plan satisfies the constraints (e.g. bandwidth collapse): fall back
     // to the relaxed problem — reusing the same precomputed tables — and
@@ -333,6 +344,18 @@ MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
     const bool found = run(/*strict=*/false, decision);
     PS360_ASSERT_MSG(found, "relaxed MPC must always find a plan");
     decision.feasible = false;
+    relaxed_fallback = true;
+  }
+  if (observer_ != nullptr) {
+    if (observer_->metrics != nullptr) {
+      observer_->metrics->add(id_decides_);
+      if (relaxed_fallback) observer_->metrics->add(id_relaxed_);
+      if (!decision.feasible) observer_->metrics->add(id_infeasible_);
+    }
+    obs::trace(observer_, obs_session_,
+               relaxed_fallback ? obs::TraceEventKind::kMpcRelaxed
+                                : obs::TraceEventKind::kMpcStrict,
+               static_cast<std::int64_t>(h), decision.objective);
   }
   return decision;
 }

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/observer.h"
 #include "power/device_models.h"
 #include "power/energy.h"
 #include "qoe/qoe_model.h"
@@ -141,6 +142,13 @@ class MpcController {
   std::size_t scratch_capacity_bytes() const { return scratch_.capacity_bytes(); }
   std::uint64_t scratch_grow_events() const { return scratch_.grow_events; }
 
+  // Attach a nullable metrics/trace observer (obs/observer.h). `session`
+  // labels the trace records. decide() then counts solves and strict-vs-
+  // relaxed outcomes (the Eq. 8c ε-constraint forcing a fallback is the
+  // signal this exposes); observation is write-only and never alters the
+  // decision — the observer-inertness differential test pins this.
+  void set_observer(obs::Observer* observer, std::uint32_t session);
+
  private:
   // Fill q_ref[i] with the constraint-(8c) reference quality of horizon[i].
   // Shared by decide() and decide_exhaustive() so the ε-constraint anchor
@@ -156,6 +164,14 @@ class MpcController {
   // must therefore not run decide() concurrently from multiple threads
   // (sessions and benches each own their controllers, so this holds today).
   mutable MpcScratch scratch_;
+
+  // Nullable observer plus the metric ids registered at attach time, so the
+  // instrumented hot path is an index-add, never a name lookup.
+  obs::Observer* observer_ = nullptr;
+  std::uint32_t obs_session_ = 0;
+  obs::MetricsRegistry::Id id_decides_ = 0;
+  obs::MetricsRegistry::Id id_relaxed_ = 0;
+  obs::MetricsRegistry::Id id_infeasible_ = 0;
 };
 
 // Reference quality for constraint (8c): the highest-(v,f) option the

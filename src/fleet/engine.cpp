@@ -110,9 +110,29 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
     sessions[i].start_s =
         config.start_spread_s > 0.0 ? rng.uniform(0.0, config.start_spread_s) : 0.0;
     loop.schedule(sessions[i].start_s, i, EventKind::kSessionStart);
+    if (config.observer != nullptr) {
+      sessions[i].accountant->attach_observer(config.observer,
+                                              static_cast<std::uint32_t>(i));
+      // The client's private wall clock starts at its staggered entry, so
+      // offsetting by start_s makes its trace timestamps engine-time.
+      sessions[i].client->attach_observer(config.observer,
+                                          static_cast<std::uint32_t>(i),
+                                          sessions[i].start_s);
+    }
   }
   loop.schedule(link_trace.next_rate_change_after(0.0), kLinkSession,
                 EventKind::kCapacityChange);
+
+  // Engine-level metric ids, registered once so the event loop below only
+  // performs index-adds. kLinkTraceSession labels link-wide trace records.
+  obs::Observer* const observer = config.observer;
+  obs::MetricsRegistry::Id id_events = 0, id_stale = 0, id_rate_changes = 0;
+  if (observer != nullptr && observer->metrics != nullptr) {
+    id_events = observer->metrics->counter("fleet.events");
+    id_stale = observer->metrics->counter("fleet.stale_completions");
+    id_rate_changes = observer->metrics->counter("fleet.capacity_changes");
+  }
+  constexpr std::uint32_t kLinkTraceSession = 0xFFFFFFFFu;
 
   // Plan the session's next segment and put the download on the link after
   // its Eq. 6 wait (plan_next already advanced the client through the wait).
@@ -130,6 +150,10 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
     const Event event = loop.pop();
     ++stats.events;
     link.advance_to(event.t);
+    if (observer != nullptr) {
+      observer->now_s = event.t;
+      if (observer->metrics != nullptr) observer->metrics->add(id_events);
+    }
 
     switch (event.kind) {
       case EventKind::kSessionStart:
@@ -141,12 +165,18 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
         PS360_ASSERT(rt.pending.has_value());
         rt.flow_started_at = event.t;
         link.start(event.session, rt.pending->plan.option.bytes, cap_bytes_per_s);
+        obs::trace(observer, static_cast<std::uint32_t>(event.session),
+                   obs::TraceEventKind::kDownloadStart,
+                   static_cast<std::int64_t>(rt.pending->segment),
+                   rt.pending->plan.option.bytes);
         break;
       }
 
       case EventKind::kFlowCompletion: {
         if (event.generation != link.generation()) {
           ++stats.stale_completions;  // rates changed since this prediction
+          if (observer != nullptr && observer->metrics != nullptr)
+            observer->metrics->add(id_stale);
           break;
         }
         SessionRuntime& rt = sessions[event.session];
@@ -170,6 +200,13 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
         // breakpoint events coming.
         loop.schedule(link_trace.next_rate_change_after(event.t), kLinkSession,
                       EventKind::kCapacityChange);
+        if (observer != nullptr) {
+          if (observer->metrics != nullptr) observer->metrics->add(id_rate_changes);
+          obs::trace(observer, kLinkTraceSession,
+                     obs::TraceEventKind::kLinkRateChange,
+                     static_cast<std::int64_t>(link.active_flows()),
+                     link.capacity_bytes_per_s(event.t));
+        }
         break;
     }
 
@@ -202,6 +239,22 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
   stats.offered_bytes =
       stats.makespan_s > 0.0 ? link_trace.bytes_in(0.0, stats.makespan_s) : 0.0;
   result.stats = stats;
+
+  // End-of-run engine aggregates: counters add and gauges take max across
+  // replications, so the runner's slot-order merge reproduces the pooled
+  // FleetStats no matter how many worker threads ran.
+  if (observer != nullptr && observer->metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *observer->metrics;
+    metrics.add(metrics.counter("fleet.runs"));
+    metrics.add(metrics.counter("fleet.reallocations"),
+                static_cast<double>(stats.reallocations));
+    metrics.add(metrics.counter("fleet.delivered_bytes"), stats.delivered_bytes);
+    metrics.add(metrics.counter("fleet.queue_grow_events"),
+                static_cast<double>(stats.queue_grow_events));
+    metrics.set_max(metrics.gauge("fleet.queue_peak"),
+                    static_cast<double>(stats.queue_peak));
+    metrics.set_max(metrics.gauge("fleet.makespan_s"), stats.makespan_s);
+  }
   return result;
 }
 

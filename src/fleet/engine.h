@@ -37,6 +37,13 @@ struct FleetConfig {
   // Per-session template (device, MPC knobs, estimators). The session seed
   // is shared — every client streams the same CDN-encoded files.
   sim::SessionConfig session;
+  // Nullable metrics/trace observer (obs/observer.h) shared by every session
+  // and the engine itself. Trace records are stamped with engine event time
+  // (client clocks are offset by the start stagger so the timelines line
+  // up). Must only be fed from one thread: when FleetRunner fans
+  // replications out, it gives each replication a private observer and
+  // merges them in slot order, so aggregates stay thread-count invariant.
+  obs::Observer* observer = nullptr;
 };
 
 // Engine internals exposed for regression tests and capacity planning.

@@ -3,6 +3,7 @@
 #include "fleet/runner.h"
 
 #include <atomic>
+#include <memory>
 #include <thread>
 
 #include "sim/experiment.h"
@@ -29,6 +30,18 @@ std::vector<FleetResult> run_fleet_replications(const sim::VideoWorkload& worklo
   std::vector<FleetResult> results(n_reps);
   std::atomic<std::size_t> next_rep{0};
 
+  // A shared Observer cannot be fed from concurrent workers, and merging as
+  // replications *finish* would make the aggregate depend on completion
+  // order. So: every replication records into a private slot, and the slots
+  // are folded into the caller's observer in replication order after the
+  // join — bit-identical for any PS360_THREADS (counters/bins add, gauges
+  // max; all associative and commutative, but the fixed fold order removes
+  // even FP-summation ambiguity).
+  obs::Observer* const caller_obs = config.observer;
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> rep_metrics(n_reps);
+  std::vector<std::unique_ptr<obs::EventTracer>> rep_tracers(n_reps);
+  std::vector<obs::Observer> rep_observers(n_reps);
+
   auto worker = [&] {
     for (;;) {
       const std::size_t r = next_rep.fetch_add(1);
@@ -40,6 +53,16 @@ std::vector<FleetResult> run_fleet_replications(const sim::VideoWorkload& worklo
       const trace::NetworkTrace link_trace = trace::synthesize_network_trace(link_cfg);
       FleetConfig rep_config = config;
       rep_config.seed = rep_seed;
+      if (caller_obs != nullptr) {
+        if (caller_obs->metrics != nullptr)
+          rep_metrics[r] = std::make_unique<obs::MetricsRegistry>();
+        if (caller_obs->tracer != nullptr)
+          rep_tracers[r] =
+              std::make_unique<obs::EventTracer>(caller_obs->tracer->capacity());
+        rep_observers[r].metrics = rep_metrics[r].get();
+        rep_observers[r].tracer = rep_tracers[r].get();
+        rep_config.observer = &rep_observers[r];
+      }
       results[r] = run_fleet(workload, link_trace, rep_config);
     }
   };
@@ -53,6 +76,15 @@ std::vector<FleetResult> run_fleet_replications(const sim::VideoWorkload& worklo
     pool.reserve(n_threads);
     for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
     for (auto& thread : pool) thread.join();
+  }
+
+  if (caller_obs != nullptr) {
+    for (std::size_t r = 0; r < n_reps; ++r) {
+      if (caller_obs->metrics != nullptr && rep_metrics[r] != nullptr)
+        caller_obs->metrics->merge_from(*rep_metrics[r]);
+      if (caller_obs->tracer != nullptr && rep_tracers[r] != nullptr)
+        caller_obs->tracer->merge_from(*rep_tracers[r]);
+    }
   }
   return results;
 }

@@ -68,6 +68,24 @@ ClientConfig SessionAccountant::client_config() const {
   return client_config;
 }
 
+void SessionAccountant::attach_observer(obs::Observer* observer,
+                                        std::uint32_t session) {
+  observer_ = observer;
+  obs_session_ = session;
+  if (observer_ != nullptr && observer_->metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *observer_->metrics;
+    id_segments_ = metrics.counter("session.segments");
+    id_ptile_segments_ = metrics.counter("session.ptile_segments");
+    id_fallback_segments_ = metrics.counter("session.fallback_segments");
+    id_reduced_frame_segments_ = metrics.counter("session.reduced_frame_segments");
+    id_energy_mj_ = metrics.counter("session.energy_mj");
+    id_qoe_q_ = metrics.counter("session.qoe_q_sum");
+    // Per-segment Eq. 1 energy: 1 mJ … ~16 J log-spaced.
+    id_energy_hist_ = metrics.histogram("session.segment_energy_mj", {1.0, 2.0, 24});
+  }
+  scheme_->attach_observer(observer, session);
+}
+
 void SessionAccountant::record(const ClientRequest& request, double download_s,
                                double stall_s) {
   PS360_CHECK_MSG(!finished_, "record() after finish()");
@@ -140,6 +158,22 @@ void SessionAccountant::record(const ClientRequest& request, double download_s,
   result_.total_bytes += plan.option.bytes;
 
   prev_actual_qo_ = qo_eff;
+
+  if (observer_ != nullptr) {
+    if (observer_->metrics != nullptr) {
+      obs::MetricsRegistry& metrics = *observer_->metrics;
+      metrics.add(id_segments_);
+      metrics.add(plan.used_ptile ? id_ptile_segments_ : id_fallback_segments_);
+      if (plan.frame_ratio < 1.0) metrics.add(id_reduced_frame_segments_);
+      metrics.add(id_energy_mj_, energy.total_mj());
+      metrics.add(id_qoe_q_, seg_qoe.q);
+      metrics.observe(id_energy_hist_, energy.total_mj());
+    }
+    // The delivered (v, f) choice: the paper's frame-rate ladder in action.
+    obs::trace(observer_, obs_session_, obs::TraceEventKind::kPtileChoice,
+               plan.option.quality, plan.option.fps,
+               plan.used_ptile ? 1.0 : 0.0);
+  }
 }
 
 SessionResult SessionAccountant::finish() {

@@ -33,6 +33,12 @@ class SessionAccountant {
   // The ClientConfig matching this session's SessionConfig.
   ClientConfig client_config() const;
 
+  // Attach a nullable metrics/trace observer; forwards to the scheme's MPC
+  // controller(s) so solver outcomes carry the same session label. record()
+  // then emits the per-segment delivered choice (Ptile vs fallback, frame
+  // rate) and energy/QoE counters. Write-only: accounting is unchanged.
+  void attach_observer(obs::Observer* observer, std::uint32_t session);
+
   // Account segment `request.segment`: delivered QoE against the user's
   // ground-truth viewport, Eq. 1 energy, and the per-segment record.
   // Segments must arrive in order, each exactly once.
@@ -56,6 +62,17 @@ class SessionAccountant {
   std::vector<qoe::SegmentQoE> qoe_segments_;
   double prev_actual_qo_ = -1.0;
   bool finished_ = false;
+
+  // Observability (nullable; ids cached at attach).
+  obs::Observer* observer_ = nullptr;
+  std::uint32_t obs_session_ = 0;
+  obs::MetricsRegistry::Id id_segments_ = 0;
+  obs::MetricsRegistry::Id id_ptile_segments_ = 0;
+  obs::MetricsRegistry::Id id_fallback_segments_ = 0;
+  obs::MetricsRegistry::Id id_reduced_frame_segments_ = 0;
+  obs::MetricsRegistry::Id id_energy_mj_ = 0;
+  obs::MetricsRegistry::Id id_qoe_q_ = 0;
+  obs::MetricsRegistry::Id id_energy_hist_ = 0;
 };
 
 }  // namespace ps360::sim

@@ -23,6 +23,30 @@ StreamingClient::StreamingClient(ClientConfig config, const VideoWorkload& workl
   PS360_CHECK(config_.mpc.buffer_threshold_s > 0.0);
 }
 
+void StreamingClient::attach_observer(obs::Observer* observer, std::uint32_t session,
+                                      double clock_offset_s) {
+  observer_ = observer;
+  obs_session_ = session;
+  obs_clock_offset_s_ = clock_offset_s;
+  if (observer_ != nullptr && observer_->metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *observer_->metrics;
+    id_planned_ = metrics.counter("client.segments_planned");
+    id_wait_s_ = metrics.counter("client.wait_seconds");
+    id_bytes_ = metrics.counter("client.bytes_requested");
+    id_stalls_ = metrics.counter("client.stalls");
+    id_stall_s_ = metrics.counter("client.stall_seconds");
+    // Log-spaced 1 ms … ~2.3 h covers startup hiccups through congestion
+    // collapse; sizes 1 KiB-ish … ~8 GB.
+    id_download_hist_ =
+        metrics.histogram("client.download_seconds", {1e-3, 2.0, 24});
+    id_bytes_hist_ = metrics.histogram("client.segment_bytes", {1e3, 2.0, 24});
+  }
+  // The scheme is attached separately (SessionAccountant::attach_observer —
+  // the accountant owns the mutable scheme; the client only borrows it
+  // const). The client still stamps observer->now_s before scheme->plan()
+  // runs, so the solver's records get the right timestamps either way.
+}
+
 double StreamingClient::playhead_s() const {
   const double L = config_.mpc.segment_seconds;
   return std::clamp(static_cast<double>(next_segment_) * L - buffer_s_, 0.0,
@@ -45,6 +69,10 @@ std::optional<ClientRequest> StreamingClient::plan_next() {
   wall_t_ += request.wait_s;
   buffer_s_ -= request.wait_s;
   request.buffer_at_request_s = buffer_s_;
+
+  // Clock handoff: everything emitted while planning (including the nested
+  // scheme → MPC solve) is stamped with the post-wait request time.
+  if (observer_ != nullptr) observer_->now_s = obs_clock_offset_s_ + wall_t_;
 
   // Steps (a)/(b): predict the viewport at the segment's playback time and
   // the bandwidth for the horizon.
@@ -78,6 +106,18 @@ std::optional<ClientRequest> StreamingClient::plan_next() {
   prev_plan_qo_ = request.plan.option.qo;
   pending_bytes_ = request.plan.option.bytes;
   awaiting_download_ = true;
+
+  if (observer_ != nullptr) {
+    if (observer_->metrics != nullptr) {
+      observer_->metrics->add(id_planned_);
+      observer_->metrics->add(id_wait_s_, request.wait_s);
+      observer_->metrics->add(id_bytes_, pending_bytes_);
+      observer_->metrics->observe(id_bytes_hist_, pending_bytes_);
+    }
+    obs::trace(observer_, obs_session_, obs::TraceEventKind::kSegmentPlanned,
+               static_cast<std::int64_t>(k), request.bandwidth_estimate_bps,
+               request.buffer_at_request_s);
+  }
   return request;
 }
 
@@ -100,6 +140,32 @@ double StreamingClient::complete_download(double download_s) {
   awaiting_download_ = false;
   pending_bytes_ = 0.0;
   ++next_segment_;
+
+  if (observer_ != nullptr) {
+    const double t_done = obs_clock_offset_s_ + wall_t_;
+    observer_->now_s = t_done;
+    const auto segment = static_cast<std::int64_t>(next_segment_ - 1);
+    if (observer_->metrics != nullptr) {
+      observer_->metrics->observe(id_download_hist_, download_s);
+      if (stall > 0.0) {
+        observer_->metrics->add(id_stalls_);
+        observer_->metrics->add(id_stall_s_, stall);
+      }
+    }
+    if (observer_->tracer != nullptr) {
+      // The stall happened over the tail of the download: playback drained
+      // the buffer at t_done - stall and resumed at completion.
+      if (stall > 0.0) {
+        observer_->tracer->record(t_done - stall, obs_session_,
+                                  obs::TraceEventKind::kStallBegin, segment);
+        observer_->tracer->record(t_done, obs_session_,
+                                  obs::TraceEventKind::kStallEnd, segment, stall);
+      }
+      observer_->tracer->record(t_done, obs_session_,
+                                obs::TraceEventKind::kDownloadComplete, segment,
+                                download_s, stall);
+    }
+  }
   return stall;
 }
 

@@ -16,6 +16,7 @@
 #include <memory>
 #include <optional>
 
+#include "obs/observer.h"
 #include "predict/bandwidth_estimators.h"
 #include "predict/predictors.h"
 #include "sim/schemes.h"
@@ -62,6 +63,16 @@ class StreamingClient {
   // stall time this download caused (0 for the startup segment).
   double complete_download(double download_s);
 
+  // Attach a nullable metrics/trace observer. `session` labels this client's
+  // records; `clock_offset_s` maps the client's private wall clock onto the
+  // caller's simulated timeline (the fleet engine passes the session's start
+  // stagger so client records line up with link-level events). The client
+  // becomes the observer's clock owner while it runs: it stamps
+  // observer->now_s before planning and after completing, which also covers
+  // the nested scheme → MPC emissions. Pass nullptr to detach.
+  void attach_observer(obs::Observer* observer, std::uint32_t session,
+                       double clock_offset_s = 0.0);
+
   // Current state.
   double buffer_s() const { return buffer_s_; }
   double wall_time_s() const { return wall_t_; }
@@ -83,6 +94,19 @@ class StreamingClient {
   double prev_plan_qo_ = -1.0;
   bool awaiting_download_ = false;
   double pending_bytes_ = 0.0;
+
+  // Observability (nullable; ids cached at attach so the hot path is an
+  // index-add). Observation is write-only: no client state depends on it.
+  obs::Observer* observer_ = nullptr;
+  std::uint32_t obs_session_ = 0;
+  double obs_clock_offset_s_ = 0.0;
+  obs::MetricsRegistry::Id id_planned_ = 0;
+  obs::MetricsRegistry::Id id_wait_s_ = 0;
+  obs::MetricsRegistry::Id id_bytes_ = 0;
+  obs::MetricsRegistry::Id id_stalls_ = 0;
+  obs::MetricsRegistry::Id id_stall_s_ = 0;
+  obs::MetricsRegistry::Id id_download_hist_ = 0;
+  obs::MetricsRegistry::Id id_bytes_hist_ = 0;
 };
 
 }  // namespace ps360::sim

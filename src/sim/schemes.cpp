@@ -110,6 +110,10 @@ class CtileScheme : public SchemeBase {
 
   SchemeKind kind() const override { return SchemeKind::kCtile; }
 
+  void attach_observer(obs::Observer* observer, std::uint32_t session) override {
+    controller_.set_observer(observer, session);
+  }
+
   DownloadPlan plan(std::size_t k, const Viewport& predicted, double predicted_sfov,
                     double bandwidth, double buffer_s, double prev_qo) const override {
     const auto& workload = *env_.workload;
@@ -164,6 +168,10 @@ class FtileScheme : public SchemeBase {
         controller_(env.mpc, *env.device, core::MpcObjective::kMaxQoE) {}
 
   SchemeKind kind() const override { return SchemeKind::kFtile; }
+
+  void attach_observer(obs::Observer* observer, std::uint32_t session) override {
+    controller_.set_observer(observer, session);
+  }
 
   DownloadPlan plan(std::size_t k, const Viewport& predicted, double predicted_sfov,
                     double bandwidth, double buffer_s, double prev_qo) const override {
@@ -228,6 +236,10 @@ class NontileScheme : public SchemeBase {
 
   SchemeKind kind() const override { return SchemeKind::kNontile; }
 
+  void attach_observer(obs::Observer* observer, std::uint32_t session) override {
+    controller_.set_observer(observer, session);
+  }
+
   DownloadPlan plan(std::size_t k, const Viewport&, double predicted_sfov,
                     double bandwidth, double buffer_s, double prev_qo) const override {
     const auto& workload = *env_.workload;
@@ -278,6 +290,11 @@ class PtileScheme : public SchemeBase {
 
   SchemeKind kind() const override {
     return frame_adaptation_ ? SchemeKind::kOurs : SchemeKind::kPtile;
+  }
+
+  void attach_observer(obs::Observer* observer, std::uint32_t session) override {
+    controller_.set_observer(observer, session);
+    fallback_.attach_observer(observer, session);  // fallback solves count too
   }
 
   DownloadPlan plan(std::size_t k, const Viewport& predicted, double predicted_sfov,

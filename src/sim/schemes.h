@@ -72,6 +72,11 @@ class Scheme {
 
   virtual SchemeKind kind() const = 0;
 
+  // Forward a nullable observer to the scheme's internal MPC controller(s)
+  // so strict-vs-relaxed solve outcomes are attributable to `session`.
+  // Observation is write-only; planning decisions are unaffected.
+  virtual void attach_observer(obs::Observer* observer, std::uint32_t session) = 0;
+
   // Plan segment k's download. `predicted` is the viewport prediction for
   // the segment's playback time, `predicted_sfov` the recent switching speed
   // (deg/s), `bandwidth` the estimated throughput in bytes/s, `buffer_s`

@@ -11,6 +11,14 @@ SessionResult simulate_session(const VideoWorkload& workload, std::size_t test_u
                                SchemeKind scheme_kind,
                                const trace::NetworkTrace& network,
                                const SessionConfig& config) {
+  return simulate_session(workload, test_user, scheme_kind, network, config,
+                          /*observer=*/nullptr);
+}
+
+SessionResult simulate_session(const VideoWorkload& workload, std::size_t test_user,
+                               SchemeKind scheme_kind,
+                               const trace::NetworkTrace& network,
+                               const SessionConfig& config, obs::Observer* observer) {
   PS360_CHECK(test_user < workload.test_user_count());
 
   // The accountant owns the per-session models and the delivered-QoE/energy
@@ -20,6 +28,10 @@ SessionResult simulate_session(const VideoWorkload& workload, std::size_t test_u
   const trace::HeadTrace& head = workload.test_trace(test_user);
   StreamingClient client(accountant.client_config(), workload,
                          accountant.scheme(), head);
+  if (observer != nullptr) {
+    accountant.attach_observer(observer, /*session=*/0);
+    client.attach_observer(observer, /*session=*/0);
+  }
 
   while (auto request = client.plan_next()) {
     const double download_s =

@@ -93,6 +93,14 @@ SessionResult simulate_session(const VideoWorkload& workload, std::size_t test_u
                                SchemeKind scheme, const trace::NetworkTrace& network,
                                const SessionConfig& config);
 
+// Same, with a nullable metrics/trace observer attached to the client, the
+// accountant, and the scheme's MPC (obs/observer.h). Results are
+// bit-identical to the observer-free overload — observation is write-only
+// (pinned by the obs differential test).
+SessionResult simulate_session(const VideoWorkload& workload, std::size_t test_user,
+                               SchemeKind scheme, const trace::NetworkTrace& network,
+                               const SessionConfig& config, obs::Observer* observer);
+
 // Convenience: average the per-user results of all test users (energy and
 // QoE aggregates are means across users; segments are dropped).
 SessionResult simulate_all_test_users(const VideoWorkload& workload, SchemeKind scheme,

@@ -2,6 +2,11 @@
 // manually, with hand-chosen download times instead of a network trace.
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/tracer.h"
 #include "sim/client.h"
 #include "sim/session.h"
 
@@ -147,6 +152,50 @@ TEST(StreamingClientTest, MisuseDoesNotCorruptState) {
   EXPECT_EQ(client.next_segment(), segment_before + 1);
   ASSERT_TRUE(client.plan_next().has_value());
   EXPECT_NO_THROW(client.complete_download(0.5));
+}
+
+TEST(StreamingClientTest, RejectsNonFiniteDownloadTime) {
+  const ClientFixture fixture;
+  auto client = fixture.make_client();
+  ASSERT_TRUE(client.plan_next().has_value());
+  // NaN fails the download_s > 0 precondition, same as zero and negative.
+  EXPECT_THROW(client.complete_download(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_NO_THROW(client.complete_download(0.5));
+}
+
+// Rejected calls must also be invisible to an attached observer: a misuse
+// that throws emits no metric and no trace record, so dashboards built on
+// the observability layer never count work that did not happen.
+TEST(StreamingClientTest, MisuseEmitsNoObservation) {
+  const ClientFixture fixture;
+  auto client = fixture.make_client();
+  obs::MetricsRegistry metrics;
+  obs::EventTracer tracer(256);
+  obs::Observer observer{&metrics, &tracer};
+  client.attach_observer(&observer, /*session=*/0);
+
+  EXPECT_THROW(client.complete_download(0.5), std::invalid_argument);
+  ASSERT_TRUE(client.plan_next().has_value());
+  const double planned = metrics.value("client.segments_planned");
+  const std::uint64_t recorded = tracer.recorded();
+
+  EXPECT_THROW(client.plan_next(), std::invalid_argument);
+  EXPECT_THROW(client.complete_download(-1.0), std::invalid_argument);
+  EXPECT_EQ(metrics.value("client.segments_planned"), planned);
+  EXPECT_EQ(tracer.recorded(), recorded);
+}
+
+// After the last segment, the protocol is over: plan_next() reports the end
+// with nullopt (not an error), while complete_download remains a violation.
+TEST(StreamingClientTest, PostFinishContract) {
+  const ClientFixture fixture;
+  auto client = fixture.make_client();
+  while (auto request = client.plan_next()) client.complete_download(0.4);
+  ASSERT_TRUE(client.finished());
+  EXPECT_FALSE(client.plan_next().has_value());
+  EXPECT_FALSE(client.plan_next().has_value());  // idempotent
+  EXPECT_THROW(client.complete_download(0.5), std::invalid_argument);
 }
 
 TEST(StreamingClientTest, SlowBandwidthEstimateLowersQuality) {

@@ -1,0 +1,140 @@
+// Golden-file regression test for the session CSV export schema.
+//
+// The CSV written by sim::export_segments_csv is a public artifact: the
+// plotting scripts under tools/ and any user's offline analysis parse it.
+// This test pins the exact bytes — header order, column count, numeric
+// formatting — against tests/data/session_segments_golden.csv so schema
+// drift is a deliberate, reviewed change (update the golden alongside the
+// code) rather than an accident. The fixture uses dyadic values (0.5,
+// 0.875, …) that round-trip exactly through precision-17 formatting, so
+// the comparison is byte-stable across platforms.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/export.h"
+
+namespace ps360::sim {
+namespace {
+
+SessionResult golden_session() {
+  SessionResult result;
+  SegmentRecord seg;
+
+  seg.index = 0;
+  seg.quality = 1;
+  seg.frame_index = 1;
+  seg.fps = 30.0;
+  seg.bytes = 262144.0;
+  seg.download_s = 0.5;
+  seg.stall_s = 0.0;
+  seg.buffer_before_s = 0.0;
+  seg.coverage = 1.0;
+  seg.used_ptile = false;
+  seg.qoe = {3.5, 0.0, 0.0, 3.5};
+  seg.energy = {512.25, 128.5, 64.125};
+  result.segments.push_back(seg);
+
+  seg.index = 1;
+  seg.quality = 3;
+  seg.frame_index = 2;
+  seg.fps = 20.0;
+  seg.bytes = 524288.0;
+  seg.download_s = 1.25;
+  seg.stall_s = 0.25;
+  seg.buffer_before_s = 2.0;
+  seg.coverage = 0.875;
+  seg.used_ptile = true;
+  seg.qoe = {4.25, 0.75, 0.25, 3.25};
+  seg.energy = {1024.5, 256.25, 32.0625};
+  result.segments.push_back(seg);
+
+  seg.index = 2;
+  seg.quality = 5;
+  seg.frame_index = 4;
+  seg.fps = 15.0;
+  seg.bytes = 1048576.0;
+  seg.download_s = 2.5;
+  seg.stall_s = 0.0;
+  seg.buffer_before_s = 4.5;
+  seg.coverage = 0.75;
+  seg.used_ptile = false;
+  seg.qoe = {5.125, 1.5, 0.0, 3.625};
+  seg.energy = {2048.125, 512.5, 16.25};
+  result.segments.push_back(seg);
+
+  return result;
+}
+
+std::vector<std::string> read_lines(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(ExportGoldenTest, CsvBytesMatchCheckedInGolden) {
+  const std::filesystem::path golden_path =
+      std::filesystem::path(PS360_TEST_DATA_DIR) / "session_segments_golden.csv";
+  const std::filesystem::path actual_path =
+      std::filesystem::temp_directory_path() / "ps360_export_golden_actual.csv";
+  export_segments_csv(actual_path, golden_session());
+
+  const std::vector<std::string> expected = read_lines(golden_path);
+  const std::vector<std::string> actual = read_lines(actual_path);
+
+  // Line-by-line first, so a schema change reads as a diff, not a blob.
+  const std::size_t common = std::min(expected.size(), actual.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    ASSERT_EQ(actual[i], expected[i])
+        << "session CSV schema drift at line " << (i + 1) << "\n  golden: "
+        << expected[i] << "\n  actual: " << actual[i]
+        << "\nIf this change is intentional, update "
+        << "tests/data/session_segments_golden.csv and the schema comment in "
+        << "src/sim/export.h together.";
+  }
+  EXPECT_EQ(actual.size(), expected.size())
+      << "row count changed (golden " << expected.size() << " lines, actual "
+      << actual.size() << ")";
+  std::filesystem::remove(actual_path);
+}
+
+TEST(ExportGoldenTest, GoldenRoundTripsThroughImport) {
+  const std::filesystem::path golden_path =
+      std::filesystem::path(PS360_TEST_DATA_DIR) / "session_segments_golden.csv";
+  const SessionResult expected = golden_session();
+  const SessionResult imported = import_segments_csv(golden_path);
+
+  ASSERT_EQ(imported.segments.size(), expected.segments.size());
+  for (std::size_t k = 0; k < expected.segments.size(); ++k) {
+    const SegmentRecord& e = expected.segments[k];
+    const SegmentRecord& a = imported.segments[k];
+    EXPECT_EQ(a.index, e.index);
+    EXPECT_EQ(a.quality, e.quality);
+    EXPECT_EQ(a.frame_index, e.frame_index);
+    EXPECT_EQ(a.fps, e.fps);
+    EXPECT_EQ(a.bytes, e.bytes);
+    EXPECT_EQ(a.download_s, e.download_s);
+    EXPECT_EQ(a.stall_s, e.stall_s);
+    EXPECT_EQ(a.buffer_before_s, e.buffer_before_s);
+    EXPECT_EQ(a.coverage, e.coverage);
+    EXPECT_EQ(a.used_ptile, e.used_ptile);
+    EXPECT_EQ(a.qoe.q, e.qoe.q);
+    EXPECT_EQ(a.energy.transmit_mj, e.energy.transmit_mj);
+    EXPECT_EQ(a.energy.decode_mj, e.energy.decode_mj);
+    EXPECT_EQ(a.energy.render_mj, e.energy.render_mj);
+  }
+  EXPECT_EQ(imported.total_stall_s, 0.25);
+  EXPECT_EQ(imported.rebuffer_events, 1u);
+  EXPECT_EQ(imported.total_bytes, 262144.0 + 524288.0 + 1048576.0);
+}
+
+}  // namespace
+}  // namespace ps360::sim

@@ -69,6 +69,31 @@ TEST(EventLoopTest, CountsGrowthBeyondReserve) {
   EXPECT_EQ(loop.peak_size(), 66u);
 }
 
+// Contract violations must throw (PS360_CHECK → std::invalid_argument)
+// *and* leave the loop usable, so a driver that catches the error can keep
+// draining the queue.
+TEST(EventLoopTest, ContractViolationsThrowAndDoNotCorruptTheQueue) {
+  EventLoop loop(4);
+  EXPECT_THROW(loop.pop(), std::invalid_argument);  // nothing scheduled yet
+  // NaN times fail the t >= now precondition (NaN compares false) — a NaN
+  // timestamp must never enter the heap, where it would poison the ordering.
+  EXPECT_THROW(
+      loop.schedule(std::numeric_limits<double>::quiet_NaN(), 0,
+                    EventKind::kSessionStart),
+      std::invalid_argument);
+  EXPECT_TRUE(loop.empty());
+
+  loop.schedule(1.0, 0, EventKind::kSessionStart);
+  loop.schedule(2.0, 1, EventKind::kFlowStart);
+  EXPECT_DOUBLE_EQ(loop.pop().t, 1.0);
+  EXPECT_THROW(loop.schedule(0.5, 0, EventKind::kFlowStart),
+               std::invalid_argument);  // in the past
+  // The rejected schedule left no residue: the queue drains normally.
+  EXPECT_DOUBLE_EQ(loop.pop().t, 2.0);
+  EXPECT_TRUE(loop.empty());
+  EXPECT_THROW(loop.pop(), std::invalid_argument);  // drained again
+}
+
 // ------------------------------------------------------------ SharedLink
 
 trace::NetworkTrace flat_trace(double mbps, double duration_s = 100.0) {
@@ -122,6 +147,29 @@ TEST(SharedLinkTest, CompletionAndRatePredictions) {
   link.finish(0);
   // Flow 1 gets the whole link back.
   EXPECT_DOUBLE_EQ(link.rate_bytes_per_s(1), 1e6);
+}
+
+TEST(SharedLinkTest, ContractViolationsThrowAndDoNotCorruptFlows) {
+  const trace::NetworkTrace trace = flat_trace(8.0);  // 1e6 bytes/s
+  EXPECT_THROW(SharedLink(trace, 0), std::invalid_argument);
+
+  SharedLink link(trace, 2);
+  EXPECT_THROW(link.start(2, 1e6, 0.0), std::invalid_argument);   // out of range
+  EXPECT_THROW(link.start(0, 0.0, 0.0), std::invalid_argument);   // no bytes
+  EXPECT_THROW(link.start(0, -1.0, 0.0), std::invalid_argument);  // negative
+  EXPECT_THROW(link.finish(0), std::invalid_argument);            // nothing in flight
+
+  link.start(0, 1e6, 0.0);
+  EXPECT_THROW(link.start(0, 1e6, 0.0), std::invalid_argument);  // double start
+  link.advance_to(0.5);
+  EXPECT_THROW(link.advance_to(0.25), std::invalid_argument);  // backwards
+
+  // Every rejected call left the fluid state untouched: the lone flow still
+  // owns the whole link and completes exactly on schedule.
+  EXPECT_DOUBLE_EQ(link.rate_bytes_per_s(0), 1e6);
+  const auto completion = link.next_completion();
+  ASSERT_TRUE(completion.has_value());
+  EXPECT_DOUBLE_EQ(completion->t, 1.0);
 }
 
 // ------------------------- Differential test vs brute-force fluid sim

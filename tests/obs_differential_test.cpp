@@ -1,0 +1,203 @@
+// Differential tests pinning the observability contract (DESIGN.md §10):
+// attaching an Observer must be provably inert — energy, QoE, stall, and
+// byte results are bit-identical with the observer on and off, for the
+// single-session simulator and the fleet engine alike — and the fleet
+// runner's per-replication registries must merge to the same snapshot for
+// any worker thread count.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "fleet/engine.h"
+#include "fleet/runner.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/tracer.h"
+#include "sim/session.h"
+#include "sim/workload.h"
+#include "trace/video_catalog.h"
+
+namespace ps360 {
+namespace {
+
+const sim::VideoWorkload& test_workload() {
+  static const trace::VideoInfo video = [] {
+    trace::VideoInfo v = trace::test_videos()[1];
+    v.duration_s = 20.0;
+    return v;
+  }();
+  static const sim::VideoWorkload workload(video, sim::WorkloadConfig{});
+  return workload;
+}
+
+void expect_bit_identical(const sim::SessionResult& a, const sim::SessionResult& b) {
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (std::size_t k = 0; k < a.segments.size(); ++k) {
+    EXPECT_EQ(a.segments[k].quality, b.segments[k].quality);
+    EXPECT_EQ(a.segments[k].frame_index, b.segments[k].frame_index);
+    EXPECT_EQ(a.segments[k].bytes, b.segments[k].bytes);
+    EXPECT_EQ(a.segments[k].download_s, b.segments[k].download_s);
+    EXPECT_EQ(a.segments[k].stall_s, b.segments[k].stall_s);
+    EXPECT_EQ(a.segments[k].buffer_before_s, b.segments[k].buffer_before_s);
+  }
+  EXPECT_EQ(a.energy.total_mj(), b.energy.total_mj());
+  EXPECT_EQ(a.qoe.mean_q, b.qoe.mean_q);
+  EXPECT_EQ(a.total_stall_s, b.total_stall_s);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.rebuffer_events, b.rebuffer_events);
+}
+
+// ------------------------------------------------------- simulate_session
+
+TEST(ObsDifferentialTest, SessionResultsAreBitIdenticalObserverOnVsOff) {
+  const sim::VideoWorkload& workload = test_workload();
+  const auto traces = trace::make_paper_traces(/*seed=*/7, 300.0);
+  const sim::SessionConfig config;
+
+  for (const sim::SchemeKind scheme :
+       {sim::SchemeKind::kOurs, sim::SchemeKind::kCtile, sim::SchemeKind::kFtile,
+        sim::SchemeKind::kNontile}) {
+    const sim::SessionResult off = sim::simulate_session(
+        workload, /*test_user=*/0, scheme, traces.second, config);
+
+    obs::MetricsRegistry metrics;
+    obs::EventTracer tracer(1 << 14);
+    obs::Observer observer{&metrics, &tracer};
+    const sim::SessionResult on = sim::simulate_session(
+        workload, /*test_user=*/0, scheme, traces.second, config, &observer);
+
+    expect_bit_identical(off, on);
+  }
+}
+
+TEST(ObsDifferentialTest, SessionObserverRecordsTheLoopFaithfully) {
+  const sim::VideoWorkload& workload = test_workload();
+  const auto traces = trace::make_paper_traces(/*seed=*/7, 300.0);
+  const sim::SessionConfig config;
+
+  obs::MetricsRegistry metrics;
+  obs::EventTracer tracer(1 << 14);
+  obs::Observer observer{&metrics, &tracer};
+  const sim::SessionResult result =
+      sim::simulate_session(workload, /*test_user=*/0, sim::SchemeKind::kOurs,
+                            traces.second, config, &observer);
+
+  const double n = static_cast<double>(result.segments.size());
+  EXPECT_EQ(metrics.value("client.segments_planned"), n);
+  EXPECT_EQ(metrics.value("session.segments"), n);
+  EXPECT_EQ(metrics.value("client.bytes_requested"), result.total_bytes);
+  EXPECT_EQ(metrics.value("client.stall_seconds"), result.total_stall_s);
+  EXPECT_EQ(metrics.value("session.energy_mj"), result.energy.total_mj());
+  EXPECT_GT(metrics.value("mpc.decides"), 0.0);
+  EXPECT_EQ(static_cast<double>(metrics.histogram_count("client.download_seconds")),
+            n);
+
+  // The trace must contain one planned + one complete record per segment,
+  // in nondecreasing time order.
+  std::size_t planned = 0, completed = 0;
+  double last_t = 0.0;
+  for (const obs::TraceRecord& r : tracer.snapshot()) {
+    EXPECT_GE(r.t, last_t);
+    last_t = r.t;
+    if (r.kind == obs::TraceEventKind::kSegmentPlanned) ++planned;
+    if (r.kind == obs::TraceEventKind::kDownloadComplete) ++completed;
+  }
+  EXPECT_EQ(planned, result.segments.size());
+  EXPECT_EQ(completed, result.segments.size());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+// -------------------------------------------------------------- run_fleet
+
+TEST(ObsDifferentialTest, FleetResultsAreBitIdenticalObserverOnVsOff) {
+  const sim::VideoWorkload& workload = test_workload();
+  const auto traces = trace::make_paper_traces(/*seed=*/11, 300.0);
+
+  fleet::FleetConfig config;
+  config.sessions = 6;
+  config.seed = 99;
+  const fleet::FleetResult off = fleet::run_fleet(workload, traces.second, config);
+
+  obs::MetricsRegistry metrics;
+  obs::EventTracer tracer(1 << 16);
+  obs::Observer observer{&metrics, &tracer};
+  config.observer = &observer;
+  const fleet::FleetResult on = fleet::run_fleet(workload, traces.second, config);
+
+  ASSERT_EQ(off.sessions.size(), on.sessions.size());
+  for (std::size_t i = 0; i < off.sessions.size(); ++i) {
+    expect_bit_identical(off.sessions[i].result, on.sessions[i].result);
+    EXPECT_EQ(off.sessions[i].finish_s, on.sessions[i].finish_s);
+  }
+  EXPECT_EQ(off.stats.events, on.stats.events);
+  EXPECT_EQ(off.stats.stale_completions, on.stats.stale_completions);
+  EXPECT_EQ(off.stats.reallocations, on.stats.reallocations);
+  EXPECT_EQ(off.stats.makespan_s, on.stats.makespan_s);
+
+  // Engine-level aggregates mirror FleetStats exactly.
+  EXPECT_EQ(metrics.value("fleet.events"), static_cast<double>(on.stats.events));
+  EXPECT_EQ(metrics.value("fleet.stale_completions"),
+            static_cast<double>(on.stats.stale_completions));
+  EXPECT_EQ(metrics.value("fleet.makespan_s"), on.stats.makespan_s);
+  EXPECT_EQ(metrics.value("fleet.delivered_bytes"), on.stats.delivered_bytes);
+}
+
+// ------------------------------------------------- run_fleet_replications
+
+TEST(ObsDifferentialTest, ReplicationMergeIsThreadCountInvariant) {
+  const sim::VideoWorkload& workload = test_workload();
+
+  fleet::FleetConfig config;
+  config.sessions = 4;
+  config.seed = 2024;
+  fleet::FleetRunOptions options;
+  options.replications = 4;
+  options.link.duration_s = 300.0;
+
+  const auto run_observed = [&](std::size_t threads, obs::MetricsRegistry& metrics,
+                                obs::EventTracer& tracer) {
+    obs::Observer observer{&metrics, &tracer};
+    fleet::FleetConfig observed = config;
+    observed.observer = &observer;
+    fleet::FleetRunOptions opts = options;
+    opts.threads = threads;
+    return fleet::run_fleet_replications(workload, observed, opts);
+  };
+
+  obs::MetricsRegistry metrics_1t, metrics_4t;
+  obs::EventTracer tracer_1t(1 << 16), tracer_4t(1 << 16);
+  const std::vector<fleet::FleetResult> serial = run_observed(1, metrics_1t, tracer_1t);
+  const std::vector<fleet::FleetResult> parallel =
+      run_observed(4, metrics_4t, tracer_4t);
+
+  // Simulation results stay bit-identical with the observer attached…
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t r = 0; r < serial.size(); ++r)
+    for (std::size_t i = 0; i < serial[r].sessions.size(); ++i)
+      expect_bit_identical(serial[r].sessions[i].result,
+                           parallel[r].sessions[i].result);
+
+  // …and so do the merged observability snapshots: the slot-order fold makes
+  // the registry JSON and the trace JSONL byte-equal across thread counts.
+  EXPECT_EQ(metrics_1t.to_json(), metrics_4t.to_json());
+  std::ostringstream jsonl_1t, jsonl_4t;
+  tracer_1t.export_jsonl(jsonl_1t);
+  tracer_4t.export_jsonl(jsonl_4t);
+  EXPECT_EQ(jsonl_1t.str(), jsonl_4t.str());
+  EXPECT_GT(tracer_1t.size(), 0u);
+  EXPECT_EQ(metrics_1t.value("fleet.runs"),
+            static_cast<double>(options.replications));
+
+  // The observed replication run must also match the unobserved one.
+  const std::vector<fleet::FleetResult> plain =
+      fleet::run_fleet_replications(workload, config, options);
+  ASSERT_EQ(plain.size(), serial.size());
+  for (std::size_t r = 0; r < plain.size(); ++r)
+    for (std::size_t i = 0; i < plain[r].sessions.size(); ++i)
+      expect_bit_identical(plain[r].sessions[i].result,
+                           serial[r].sessions[i].result);
+}
+
+}  // namespace
+}  // namespace ps360

@@ -200,6 +200,63 @@ TEST(ClustererTest, ConfigValidation) {
   EXPECT_THROW(ViewClusterer{bad}, std::invalid_argument);
 }
 
+TEST(ClustererPropertyTest, RandomizedInvariantsHoldAcrossSeeds) {
+  // Algorithm 1's contract, checked over 200 randomized point sets: the
+  // output is a partition (every input index exactly once), every cluster
+  // respects the sigma diameter cap (recursive_split mode), and clustering
+  // is a pure function of its input (bit-identical on a second call).
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    util::Rng rng(seed);
+    std::vector<EquirectPoint> points;
+    // A mixture: a few tight blobs (clusterable mass) plus uniform scatter
+    // (singletons and chain-formers), sometimes straddling the lon seam.
+    const std::size_t n_blobs = rng.uniform_index(4);  // 0..3
+    for (std::size_t b = 0; b < n_blobs; ++b) {
+      const double cx = rng.uniform(0.0, 360.0);
+      const double cy = rng.uniform(20.0, 160.0);
+      const double radius = rng.uniform(1.0, 25.0);
+      const std::size_t count = 2 + rng.uniform_index(12);
+      for (std::size_t i = 0; i < count; ++i) {
+        const double x = cx + rng.uniform(-radius, radius);
+        const double y = std::clamp(cy + rng.uniform(-radius, radius), 0.0, 180.0);
+        points.push_back(EquirectPoint::make(geometry::Degrees(x), geometry::Degrees(y)));
+      }
+    }
+    const std::size_t scatter = rng.uniform_index(10);
+    for (std::size_t i = 0; i < scatter; ++i) {
+      points.push_back(EquirectPoint::make(geometry::Degrees(rng.uniform(0.0, 360.0)),
+                                           geometry::Degrees(rng.uniform(0.0, 180.0))));
+    }
+
+    ClustererConfig config;
+    config.sigma = rng.uniform(20.0, 90.0);
+    config.delta = config.sigma / rng.uniform(2.0, 6.0);
+    const ViewClusterer clusterer(config);
+    const auto clusters = clusterer.cluster(points);
+
+    // Partition: all points, no duplicates, no empty clusters.
+    std::set<std::size_t> seen;
+    for (const auto& cluster : clusters) {
+      EXPECT_FALSE(cluster.empty()) << "seed " << seed;
+      for (const std::size_t idx : cluster) {
+        ASSERT_LT(idx, points.size()) << "seed " << seed;
+        EXPECT_TRUE(seen.insert(idx).second)
+            << "seed " << seed << ": point " << idx << " in two clusters";
+      }
+    }
+    EXPECT_EQ(seen.size(), points.size()) << "seed " << seed;
+
+    // Diameter cap is a real invariant in recursive_split mode.
+    for (const auto& cluster : clusters) {
+      EXPECT_LE(ViewClusterer::diameter(points, cluster), config.sigma + 1e-9)
+          << "seed " << seed;
+    }
+
+    // Determinism: same input, same output — ordering included.
+    EXPECT_EQ(clusterer.cluster(points), clusters) << "seed " << seed;
+  }
+}
+
 // ------------------------------------------------------------ PtileBuilder
 
 TEST(PtileBuilderTest, PopularClusterBecomesPtile) {

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Line-coverage summary for pstream360, with no gcovr/lcov dependency.
+
+Workflow (the CI `coverage` leg runs exactly this):
+
+    cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug -DPS360_COVERAGE=ON
+    cmake --build build-cov -j
+    ctest --test-dir build-cov -j 2
+    python3 tools/coverage_report.py --build-dir build-cov \
+        --fail-under 80 --out coverage_summary.txt
+
+The script walks the build tree for .gcda files, asks `gcov --json-format
+--stdout` for per-line execution counts, folds the counts across translation
+units (a line is covered if any TU executed it), and prints line coverage
+per src/ module plus the repo total. With --fail-under it exits non-zero
+when the total drops below the floor — the README records the committed
+baseline next to the floor.
+
+Only files under src/ count: tests, benches, examples, and system headers
+are excluded, so the number means "how much of the library the test suite
+exercises".
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+
+
+def find_gcov() -> str:
+    for candidate in ("gcov", "llvm-cov"):
+        if shutil.which(candidate):
+            return candidate
+    raise SystemExit("coverage_report.py: neither gcov nor llvm-cov in PATH")
+
+
+def gcov_command(tool: str) -> list[str]:
+    # llvm-cov speaks the gcov CLI through its `gcov` subcommand.
+    return [tool, "gcov"] if tool == "llvm-cov" else [tool]
+
+
+def collect(build_dir: pathlib.Path, repo: pathlib.Path,
+            tool: str) -> dict[str, dict[int, int]]:
+    """Map repo-relative source path -> {line: max count across TUs}."""
+    gcda_files = sorted(build_dir.rglob("*.gcda"))
+    if not gcda_files:
+        raise SystemExit(
+            f"coverage_report.py: no .gcda under {build_dir} — build with "
+            "-DPS360_COVERAGE=ON and run the tests first")
+    src_root = repo / "src"
+    counts: dict[str, dict[int, int]] = collections.defaultdict(dict)
+    for gcda in gcda_files:
+        result = subprocess.run(
+            gcov_command(tool) + ["--json-format", "--stdout", gcda.name],
+            cwd=gcda.parent, capture_output=True, text=True)
+        if result.returncode != 0:
+            print(f"warning: gcov failed on {gcda}: {result.stderr.strip()}",
+                  file=sys.stderr)
+            continue
+        # One JSON document per line of stdout (one per .gcno processed).
+        for line in result.stdout.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            for entry in doc.get("files", []):
+                path = pathlib.Path(entry["file"])
+                if not path.is_absolute():
+                    path = (gcda.parent / path).resolve()
+                try:
+                    rel = path.resolve().relative_to(src_root)
+                except ValueError:
+                    continue  # test/bench/system file
+                key = (pathlib.Path("src") / rel).as_posix()
+                file_counts = counts[key]
+                for ln in entry.get("lines", []):
+                    number = ln["line_number"]
+                    file_counts[number] = max(
+                        file_counts.get(number, 0), ln["count"])
+    return counts
+
+
+def summarize(counts: dict[str, dict[int, int]]) -> tuple[list[str], float]:
+    per_module: dict[str, list[int]] = collections.defaultdict(lambda: [0, 0])
+    total_covered = total_lines = 0
+    for path, lines in sorted(counts.items()):
+        module = path.split("/")[1] if path.count("/") >= 2 else "(root)"
+        covered = sum(1 for c in lines.values() if c > 0)
+        per_module[module][0] += covered
+        per_module[module][1] += len(lines)
+        total_covered += covered
+        total_lines += len(lines)
+
+    out = ["pstream360 line coverage (src/ only)", ""]
+    out.append(f"{'module':12s} {'lines':>7s} {'covered':>8s} {'pct':>7s}")
+    for module in sorted(per_module):
+        covered, lines = per_module[module]
+        pct = 100.0 * covered / lines if lines else 0.0
+        out.append(f"{module:12s} {lines:7d} {covered:8d} {pct:6.1f}%")
+    total_pct = 100.0 * total_covered / total_lines if total_lines else 0.0
+    out.append("")
+    out.append(f"{'TOTAL':12s} {total_lines:7d} {total_covered:8d} {total_pct:6.1f}%")
+    return out, total_pct
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--build-dir", default="build-cov",
+                        help="build tree configured with -DPS360_COVERAGE=ON")
+    parser.add_argument("--repo", default=".", help="repository root")
+    parser.add_argument("--out", default=None,
+                        help="also write the summary to this file (CI artifact)")
+    parser.add_argument("--fail-under", type=float, default=None,
+                        help="exit 1 if total line coverage is below this percent")
+    args = parser.parse_args()
+
+    repo = pathlib.Path(args.repo).resolve()
+    build_dir = pathlib.Path(args.build_dir).resolve()
+    counts = collect(build_dir, repo, find_gcov())
+    lines, total_pct = summarize(counts)
+
+    report = "\n".join(lines) + "\n"
+    print(report, end="")
+    if args.out:
+        pathlib.Path(args.out).write_text(report, encoding="utf-8")
+
+    if args.fail_under is not None and total_pct < args.fail_under:
+        print(f"coverage_report.py: total {total_pct:.1f}% is below the "
+              f"--fail-under floor of {args.fail_under:.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

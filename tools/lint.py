@@ -14,10 +14,12 @@ Checked invariants:
   4. Contract checks: every .cpp in the migrated modules validates inputs with
      PS360_CHECK / PS360_ASSERT (util/check.h).
   5. `using namespace std;` is banned everywhere.
-  6. Fleet determinism: src/fleet is a deterministic discrete-event engine, so
-     wall-clock time (`std::chrono::system_clock`, `steady_clock::now`) and
-     non-reproducible entropy are banned there, and every fleet source starts
-     with a `//` header comment stating its contract.
+  6. Deterministic subsystems: src/fleet is a deterministic discrete-event
+     engine and src/obs observes replayable simulations, so wall-clock time
+     (`std::chrono::system_clock`, `steady_clock::now`) and non-reproducible
+     entropy are banned in both, and every source there starts with a `//`
+     header comment stating its contract. A trace record stamped with real
+     time would make identical runs produce different artifacts.
 
 Exit code 0 when clean, 1 with one line per violation otherwise.
 """
@@ -50,9 +52,12 @@ UNIT_SAFE_HEADERS = [
 # `double lon_deg,` / `double a_rad)` — a raw-double angle parameter.
 RAW_ANGLE_PARAM = re.compile(r"\bdouble\s+\w*_(?:deg|rad)\s*[,)=]")
 
-CONTRACT_MODULES = ["src/geometry", "src/power", "src/qoe", "src/fleet"]
+CONTRACT_MODULES = ["src/geometry", "src/power", "src/qoe", "src/fleet",
+                    "src/obs"]
 
-# The fleet engine must be replayable: no wall-clock reads, no OS entropy.
+# Deterministic subsystems (fleet engine, observability layer) must be
+# replayable: no wall-clock reads, no OS entropy.
+DETERMINISTIC_DIRS = ["src/fleet", "src/obs"]
 FLEET_BANNED = [
     (re.compile(r"std::chrono::system_clock"), "std::chrono::system_clock"),
     (re.compile(r"std::chrono::steady_clock"), "std::chrono::steady_clock"),
@@ -126,24 +131,24 @@ def main() -> int:
                     "unit-safe public header; use util::Degrees / util::Radians"
                 )
 
-    # 6. Fleet determinism: clock bans + leading contract comment.
-    fleet_root = repo / "src/fleet"
-    for path in sorted(fleet_root.glob("*")):
-        if path.suffix not in (".h", ".cpp"):
-            continue
-        raw = path.read_text(encoding="utf-8")
-        text = strip_comments(raw)
-        for pattern, label in FLEET_BANNED:
-            if pattern.search(text):
+    # 6. Deterministic subsystems: clock bans + leading contract comment.
+    for det_dir in DETERMINISTIC_DIRS:
+        for path in sorted((repo / det_dir).glob("*")):
+            if path.suffix not in (".h", ".cpp"):
+                continue
+            raw = path.read_text(encoding="utf-8")
+            text = strip_comments(raw)
+            for pattern, label in FLEET_BANNED:
+                if pattern.search(text):
+                    violations.append(
+                        f"{rel(path)}: uses {label}; {det_dir} is replayable "
+                        "— simulated time only, never wall-clock time"
+                    )
+            if not raw.lstrip().startswith("//"):
                 violations.append(
-                    f"{rel(path)}: uses {label}; the fleet engine is replayable "
-                    "— simulated time only, never wall-clock time"
+                    f"{rel(path)}: sources in {det_dir} must open with a '//' "
+                    "header comment stating the file's contract"
                 )
-        if not raw.lstrip().startswith("//"):
-            violations.append(
-                f"{rel(path)}: fleet sources must open with a '//' header "
-                "comment stating the file's contract"
-            )
 
     # 4. Contract checks in migrated modules.
     for module in CONTRACT_MODULES:

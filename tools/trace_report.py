@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Render a pstream360 event trace (obs::EventTracer JSONL) for humans.
+
+Input is the JSON-lines file written by EventTracer::export_jsonl — one
+record per line with fields t (simulated seconds), session, kind, a, v0, v1
+(see src/obs/tracer.h for the per-kind payload meanings). Produce it with,
+e.g.:
+
+    ./build/examples/fleet_contention --trace fleet_trace.jsonl
+
+Outputs:
+  * (default) a terminal summary: record counts by kind, per-session
+    download/stall totals, MPC strict-vs-relaxed split, timeline span.
+  * --chrome OUT.json: the Chrome trace-event format (open in
+    chrome://tracing or https://ui.perfetto.dev). Downloads and stalls
+    become duration events on one track per session; everything else is an
+    instant event.
+  * --jsonl OUT.jsonl: re-emit the parsed records (optionally filtered with
+    --session / --kind) as normalized JSONL.
+
+Timestamps are simulated seconds; the Chrome export maps them to
+microseconds so the tracing UI's zoom levels behave.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import pathlib
+import sys
+
+# Kind names, mirroring obs::TraceEventKind (src/obs/tracer.cpp).
+KINDS = [
+    "segment_planned",
+    "download_start",
+    "download_complete",
+    "stall_begin",
+    "stall_end",
+    "mpc_strict",
+    "mpc_relaxed",
+    "ptile_choice",
+    "link_rate_change",
+]
+
+# The fleet engine labels link-wide records with session 0xFFFFFFFF.
+LINK_SESSION = 0xFFFFFFFF
+
+
+def read_records(path: pathlib.Path) -> list[dict]:
+    records = []
+    with path.open(encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise SystemExit(f"{path}:{lineno}: not JSON: {err}")
+            for field in ("t", "session", "kind", "a", "v0", "v1"):
+                if field not in record:
+                    raise SystemExit(f"{path}:{lineno}: missing field '{field}'")
+            if record["kind"] not in KINDS:
+                raise SystemExit(
+                    f"{path}:{lineno}: unknown kind '{record['kind']}'")
+            records.append(record)
+    return records
+
+
+def session_label(session: int) -> str:
+    return "link" if session == LINK_SESSION else f"session {session}"
+
+
+def print_summary(records: list[dict]) -> None:
+    if not records:
+        print("empty trace")
+        return
+    t_min = min(r["t"] for r in records)
+    t_max = max(r["t"] for r in records)
+    by_kind = collections.Counter(r["kind"] for r in records)
+    sessions = sorted({r["session"] for r in records if r["session"] != LINK_SESSION})
+
+    print(f"{len(records)} records, {len(sessions)} session(s), "
+          f"t = [{t_min:.3f}, {t_max:.3f}] s")
+    print("\nrecords by kind:")
+    for kind in KINDS:
+        if by_kind[kind]:
+            print(f"  {kind:18s} {by_kind[kind]:6d}")
+
+    strict = by_kind["mpc_strict"]
+    relaxed = by_kind["mpc_relaxed"]
+    if strict + relaxed:
+        print(f"\nMPC solves: {strict + relaxed} "
+              f"({strict} strict, {relaxed} relaxed fallback)")
+
+    rows = []
+    for session in sessions:
+        mine = [r for r in records if r["session"] == session]
+        downloads = [r for r in mine if r["kind"] == "download_complete"]
+        stall_s = sum(r["v0"] for r in mine if r["kind"] == "stall_end")
+        download_s = sum(r["v0"] for r in downloads)
+        rows.append((session, len(downloads), download_s, stall_s))
+    if rows:
+        print("\n%9s %9s %12s %9s" % ("session", "segments", "download s", "stall s"))
+        for session, segments, download_s, stall_s in rows:
+            print("%9d %9d %12.2f %9.2f" % (session, segments, download_s, stall_s))
+
+    rate_changes = [r for r in records if r["kind"] == "link_rate_change"]
+    if rate_changes:
+        mbps = [r["v0"] * 8.0 / 1e6 for r in rate_changes]
+        print(f"\nlink: {len(rate_changes)} rate changes, "
+              f"{min(mbps):.1f}-{max(mbps):.1f} Mbps")
+
+
+def chrome_events(records: list[dict]) -> list[dict]:
+    """Map records to Chrome trace events: one tid per session, duration
+    events for downloads (paired by (session, segment)) and stalls."""
+    events: list[dict] = []
+    open_downloads: dict[tuple[int, int], dict] = {}
+    open_stalls: dict[tuple[int, int], dict] = {}
+
+    def us(t: float) -> float:
+        return t * 1e6
+
+    def base(record: dict) -> dict:
+        session = record["session"]
+        return {"pid": 1, "tid": session if session != LINK_SESSION else -1}
+
+    for record in records:
+        kind = record["kind"]
+        key = (record["session"], record["a"])
+        if kind == "download_start":
+            open_downloads[key] = record
+        elif kind == "download_complete":
+            start = open_downloads.pop(key, None)
+            # Single-session traces carry no download_start; reconstruct the
+            # span from the completion's download_s payload.
+            t0 = start["t"] if start else record["t"] - record["v0"]
+            events.append(base(record) | {
+                "name": f"download seg {record['a']}", "cat": "download",
+                "ph": "X", "ts": us(t0), "dur": us(record["t"] - t0),
+                "args": {"segment": record["a"], "download_s": record["v0"],
+                         "stall_s": record["v1"]},
+            })
+        elif kind == "stall_begin":
+            open_stalls[key] = record
+        elif kind == "stall_end":
+            begin = open_stalls.pop(key, None)
+            t0 = begin["t"] if begin else record["t"] - record["v0"]
+            events.append(base(record) | {
+                "name": f"stall seg {record['a']}", "cat": "stall",
+                "ph": "X", "ts": us(t0), "dur": us(record["t"] - t0),
+                "args": {"segment": record["a"], "stall_s": record["v0"]},
+            })
+        else:
+            events.append(base(record) | {
+                "name": kind, "cat": kind, "ph": "i", "s": "t",
+                "ts": us(record["t"]),
+                "args": {"a": record["a"], "v0": record["v0"],
+                         "v1": record["v1"]},
+            })
+
+    for session in sorted({r["session"] for r in records}):
+        tid = session if session != LINK_SESSION else -1
+        events.append({"pid": 1, "tid": tid, "ph": "M",
+                       "name": "thread_name",
+                       "args": {"name": session_label(session)}})
+    return events
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("trace", help="JSONL trace from EventTracer::export_jsonl")
+    parser.add_argument("--chrome", metavar="OUT",
+                        help="write the Chrome trace-event format here")
+    parser.add_argument("--jsonl", metavar="OUT",
+                        help="re-emit (filtered) records as JSONL here")
+    parser.add_argument("--session", type=int, default=None,
+                        help="restrict outputs to one session id")
+    parser.add_argument("--kind", choices=KINDS, default=None,
+                        help="restrict outputs to one record kind")
+    args = parser.parse_args()
+
+    records = read_records(pathlib.Path(args.trace))
+    if args.session is not None:
+        records = [r for r in records if r["session"] == args.session]
+    if args.kind is not None:
+        records = [r for r in records if r["kind"] == args.kind]
+
+    print_summary(records)
+
+    if args.chrome:
+        payload = {"traceEvents": chrome_events(records),
+                   "displayTimeUnit": "ms"}
+        pathlib.Path(args.chrome).write_text(
+            json.dumps(payload, separators=(",", ":")) + "\n", encoding="utf-8")
+        print(f"\nwrote Chrome trace: {args.chrome} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as out:
+            for record in records:
+                out.write(json.dumps(record, separators=(",", ":")) + "\n")
+        print(f"wrote JSONL: {args.jsonl} ({len(records)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output piped into head/less that exited early — not an error.
+        sys.exit(0)
