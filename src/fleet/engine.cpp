@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "sim/client.h"
+#include "trace/fault_schedule.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -19,6 +20,10 @@ namespace {
 // forever so fleet runs stay reproducible across versions).
 constexpr std::uint64_t kStartJitterStream = 0x5747A66E5ULL;
 
+// Seed stream tag for per-session recovery (backoff jitter) seeds under
+// fault injection.
+constexpr std::uint64_t kRetrySeedStream = 0x4E74BAC0FFULL;
+
 // One session's live state inside the engine.
 struct SessionRuntime {
   std::unique_ptr<sim::SessionAccountant> accountant;
@@ -29,6 +34,13 @@ struct SessionRuntime {
   double start_s = 0.0;
   double finish_s = 0.0;
   bool done = false;
+
+  // Fault-injection state (null/idle unless FaultConfig.enabled).
+  std::unique_ptr<trace::FaultSchedule> faults;
+  std::uint64_t attempt_seq = 0;  // tags deadline/admit events; bump = stale
+  double attempt_elapsed = 0.0;   // radio-on seconds of failed attempts
+  bool in_flight = false;         // a link flow exists for this session
+  sim::FailureReason fail_reason = sim::FailureReason::kTimeout;
 };
 
 }  // namespace
@@ -86,12 +98,25 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
   // Sessions, clients, and link slots are all preallocated; after this block
   // the steady-state hot path performs no heap allocation (the zero-growth
   // regression test pins EventLoop growth to 0).
+  const bool faults_on = config.session.faults.enabled;
   std::vector<SessionRuntime> sessions(n);
   for (std::size_t i = 0; i < n; ++i) {
     SessionRuntime& rt = sessions[i];
     const std::size_t test_user = i % workload.test_user_count();
+    // Under fault injection each session gets a private fault schedule and a
+    // private recovery (jitter) seed, both keyed off (fleet seed, session) so
+    // replications and sessions decorrelate. The config copy is only made on
+    // the fault path — the fault-free path is byte-for-byte today's engine.
+    sim::SessionConfig session_config = config.session;
+    if (faults_on) {
+      session_config.recovery.seed =
+          util::derive_seed(config.seed, kRetrySeedStream, i);
+      rt.faults = std::make_unique<trace::FaultSchedule>(
+          config.session.faults,
+          util::derive_seed(config.seed, trace::kFaultSeedStream, i));
+    }
     rt.accountant = std::make_unique<sim::SessionAccountant>(
-        workload, test_user, config.scheme, config.session);
+        workload, test_user, config.scheme, session_config);
     rt.client = std::make_unique<sim::StreamingClient>(
         rt.accountant->client_config(), workload, rt.accountant->scheme(),
         workload.test_trace(test_user));
@@ -100,8 +125,9 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
   // Peak queue: one start/flow event per session, one capacity event, plus
   // stale completion predictions that drain as they are popped. A download
   // rarely spans more than a few capacity breakpoints, so 8 slots per
-  // session plus slack keeps growth at zero with a wide margin.
-  EventLoop loop(8 * n + 64);
+  // session plus slack keeps growth at zero with a wide margin. Fault
+  // injection adds a deadline and possibly an admit event per attempt.
+  EventLoop loop((faults_on ? 12 : 8) * n + 64);
   SharedLink link(link_trace, n);
   FleetStats stats;
 
@@ -163,12 +189,96 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
       case EventKind::kFlowStart: {
         SessionRuntime& rt = sessions[event.session];
         PS360_ASSERT(rt.pending.has_value());
+        if (rt.faults != nullptr) {
+          const sim::RecoveryConfig& rc = rt.client->recovery();
+          const std::size_t attempt = rt.client->attempts() + 1;
+          if (attempt >= rc.max_attempts) {
+            // Guaranteed final attempt: if blacked out, just re-issue at the
+            // outage end (no failure charged); otherwise run with no deadline
+            // so the transfer always completes.
+            if (const auto w = rt.faults->outage_at(event.t)) {
+              loop.schedule(w->end, event.session, EventKind::kFlowStart);
+              break;
+            }
+          } else {
+            const std::uint64_t tag = ++rt.attempt_seq;
+            if (const auto w = rt.faults->outage_at(event.t)) {
+              // Blacked out at issue: the attempt burns until the outage ends
+              // or the deadline, whichever is sooner; no bytes ever flow.
+              rt.fail_reason = sim::FailureReason::kOutage;
+              rt.flow_started_at = event.t;
+              const double elapsed = std::min(w->end - event.t, rc.timeout_s);
+              loop.schedule(event.t + elapsed, event.session,
+                            EventKind::kFlowDeadline, tag);
+              break;
+            }
+            const trace::AttemptFault fault =
+                rt.faults->attempt_fault(rt.pending->segment, attempt);
+            if (fault.lost) {
+              // Request vanished: nothing reaches the link; the client only
+              // learns at the deadline.
+              rt.fail_reason = sim::FailureReason::kLost;
+              rt.flow_started_at = event.t;
+              loop.schedule(event.t + rc.timeout_s, event.session,
+                            EventKind::kFlowDeadline, tag);
+              break;
+            }
+            rt.fail_reason = sim::FailureReason::kTimeout;
+            loop.schedule(event.t + rc.timeout_s, event.session,
+                          EventKind::kFlowDeadline, tag);
+            if (fault.spike_s > 0.0) {
+              // Latency spike: the flow reaches the link only after the
+              // spike; flow_started_at stays at issue so download time
+              // includes it. If the spike outlasts the deadline the admit
+              // arrives stale and is discarded.
+              rt.flow_started_at = event.t;
+              loop.schedule(event.t + fault.spike_s, event.session,
+                            EventKind::kFlowAdmit, tag);
+              break;
+            }
+            // fall through to a normal (but deadline-guarded) start
+          }
+        }
         rt.flow_started_at = event.t;
+        rt.in_flight = true;
         link.start(event.session, rt.pending->plan.option.bytes, cap_bytes_per_s);
         obs::trace(observer, static_cast<std::uint32_t>(event.session),
                    obs::TraceEventKind::kDownloadStart,
                    static_cast<std::int64_t>(rt.pending->segment),
                    rt.pending->plan.option.bytes);
+        break;
+      }
+
+      case EventKind::kFlowAdmit: {
+        SessionRuntime& rt = sessions[event.session];
+        if (!rt.pending.has_value() || event.generation != rt.attempt_seq)
+          break;  // attempt already failed (deadline beat the spike)
+        rt.in_flight = true;
+        link.start(event.session, rt.pending->plan.option.bytes, cap_bytes_per_s);
+        obs::trace(observer, static_cast<std::uint32_t>(event.session),
+                   obs::TraceEventKind::kDownloadStart,
+                   static_cast<std::int64_t>(rt.pending->segment),
+                   rt.pending->plan.option.bytes);
+        break;
+      }
+
+      case EventKind::kFlowDeadline: {
+        SessionRuntime& rt = sessions[event.session];
+        if (!rt.pending.has_value() || event.generation != rt.attempt_seq)
+          break;  // the attempt completed (or already failed) before this
+        ++rt.attempt_seq;  // invalidate any pending admit for this attempt
+        if (rt.in_flight) {
+          link.abort(event.session);  // bumps generation: completion goes stale
+          rt.in_flight = false;
+          ++stats.flow_aborts;
+        }
+        const double elapsed = event.t - rt.flow_started_at;
+        rt.attempt_elapsed += elapsed;
+        const sim::FailureAction action =
+            rt.client->report_download_failure(elapsed, rt.fail_reason);
+        if (action.degrade) rt.pending = rt.client->replan_degraded();
+        loop.schedule(event.t + action.backoff_s, event.session,
+                      EventKind::kFlowStart);
         break;
       }
 
@@ -181,9 +291,13 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
         }
         SessionRuntime& rt = sessions[event.session];
         link.finish(event.session);
+        rt.in_flight = false;
+        ++rt.attempt_seq;  // invalidate this attempt's deadline
         const double download_s = event.t - rt.flow_started_at;
         const double stall = rt.client->complete_download(download_s);
-        rt.accountant->record(*rt.pending, download_s, stall);
+        rt.accountant->record(*rt.pending, rt.attempt_elapsed + download_s,
+                              stall);
+        rt.attempt_elapsed = 0.0;
         rt.pending.reset();
         if (rt.client->finished()) {
           rt.done = true;
@@ -248,6 +362,8 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
     metrics.add(metrics.counter("fleet.runs"));
     metrics.add(metrics.counter("fleet.reallocations"),
                 static_cast<double>(stats.reallocations));
+    metrics.add(metrics.counter("fleet.flow_aborts"),
+                static_cast<double>(stats.flow_aborts));
     metrics.add(metrics.counter("fleet.delivered_bytes"), stats.delivered_bytes);
     metrics.add(metrics.counter("fleet.queue_grow_events"),
                 static_cast<double>(stats.queue_grow_events));

@@ -50,6 +50,7 @@ struct FleetConfig {
 struct FleetStats {
   std::uint64_t events = 0;              // events processed
   std::uint64_t stale_completions = 0;   // lazily discarded predictions
+  std::uint64_t flow_aborts = 0;         // flows killed by a fault deadline
   std::uint64_t queue_grow_events = 0;   // EventLoop heap reallocations
   std::size_t queue_peak = 0;            // max simultaneous queued events
   std::uint64_t reallocations = 0;       // link fair-share recomputes

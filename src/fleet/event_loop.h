@@ -1,11 +1,13 @@
 // Deterministic discrete-event queue for the fleet engine.
 //
-// The fleet simulation advances through four event kinds: a session entering
+// The fleet simulation advances through six event kinds: a session entering
 // the system, a download (flow) starting after its Eq. 6 wait, a flow
-// completing on the shared link, and the bottleneck capacity changing at a
-// trace breakpoint. EventLoop totally orders them by (time, session_id,
-// sequence) — never by pointer value or hash-container iteration order — so
-// a fleet run is bit-reproducible across platforms and thread counts.
+// completing on the shared link, the bottleneck capacity changing at a
+// trace breakpoint, and — under fault injection — a per-attempt deadline
+// expiring and a latency-spiked flow finally admitting onto the link.
+// EventLoop totally orders them by (time, session_id, sequence) — never by
+// pointer value or hash-container iteration order — so a fleet run is
+// bit-reproducible across platforms and thread counts.
 //
 // Zero steady-state allocation: the queue is a binary heap over a vector
 // reserved up front (same discipline as core::MpcScratch); every reallocation
@@ -29,6 +31,11 @@ enum class EventKind : std::uint8_t {
   kFlowStart = 1,       // the planned download hits the link (wait elapsed)
   kFlowCompletion = 2,  // predicted completion (validated via `generation`)
   kCapacityChange = 3,  // shared-link capacity trace breakpoint
+  // Fault-injection kinds (scheduled only when FaultConfig.enabled; both
+  // carry the session's attempt sequence number in `generation` so stale
+  // ones are discarded lazily, mirroring kFlowCompletion):
+  kFlowDeadline = 4,    // per-attempt timeout expires; abort and retry
+  kFlowAdmit = 5,       // latency spike over; the flow actually hits the link
 };
 
 struct Event {

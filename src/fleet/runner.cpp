@@ -102,6 +102,7 @@ FleetAggregate aggregate_fleet(const std::vector<FleetResult>& results,
     for (const FleetSessionResult& s : r.sessions) pooled.sessions.push_back(s);
     pooled.stats.events += r.stats.events;
     pooled.stats.stale_completions += r.stats.stale_completions;
+    pooled.stats.flow_aborts += r.stats.flow_aborts;
     pooled.stats.queue_grow_events += r.stats.queue_grow_events;
     pooled.stats.queue_peak = std::max(pooled.stats.queue_peak, r.stats.queue_peak);
     pooled.stats.reallocations += r.stats.reallocations;

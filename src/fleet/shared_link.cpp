@@ -118,6 +118,18 @@ void SharedLink::finish(std::size_t session) {
   ++generation_;
 }
 
+void SharedLink::abort(std::size_t session) {
+  PS360_CHECK(session < flows_.size());
+  Flow& flow = flows_[session];
+  PS360_CHECK_MSG(flow.active, "no flow in flight for this session");
+  flow.active = false;
+  flow.remaining_bytes = 0.0;
+  flow.rate_bytes_per_s = 0.0;
+  active_.erase(std::find(active_.begin(), active_.end(), session));
+  reallocate();
+  ++generation_;
+}
+
 std::optional<SharedLink::Completion> SharedLink::next_completion() const {
   if (active_.empty()) return std::nullopt;
   // Scan flows in ascending session order so float-equal completion times

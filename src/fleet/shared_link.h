@@ -66,6 +66,12 @@ class SharedLink {
   // Remove `session`'s flow; its remaining bytes must have drained to ~0.
   void finish(std::size_t session);
 
+  // Remove `session`'s flow mid-transfer (deadline expired / request failed).
+  // Unlike finish(), remaining bytes are discarded; already-delivered bytes
+  // stay counted. Frees the flow's share for everyone else (bumps
+  // generation(), so pending completion predictions invalidate lazily).
+  void abort(std::size_t session);
+
   // Earliest completion if rates stay constant; ties break on the smaller
   // session id. nullopt when no flow is in flight.
   std::optional<Completion> next_completion() const;

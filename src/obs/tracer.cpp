@@ -11,9 +11,10 @@ namespace ps360::obs {
 
 const char* trace_event_name(TraceEventKind kind) {
   static constexpr std::array<const char*, kTraceEventKinds> names = {
-      "segment_planned", "download_start", "download_complete",
-      "stall_begin",     "stall_end",      "mpc_strict",
-      "mpc_relaxed",     "ptile_choice",   "link_rate_change"};
+      "segment_planned",  "download_start", "download_complete",
+      "stall_begin",      "stall_end",      "mpc_strict",
+      "mpc_relaxed",      "ptile_choice",   "link_rate_change",
+      "download_timeout", "download_retry", "download_degraded"};
   const auto index = static_cast<std::size_t>(kind);
   PS360_CHECK(index < names.size());
   return names[index];

@@ -33,8 +33,11 @@ enum class TraceEventKind : std::uint8_t {
   kMpcRelaxed = 6,        // a = horizon length, v0 = objective (fallback solve)
   kPtileChoice = 7,       // a = quality v, v0 = fps, v1 = used_ptile (0/1)
   kLinkRateChange = 8,    // a = active flows, v0 = capacity B/s
+  kDownloadTimeout = 9,   // a = segment, v0 = elapsed s, v1 = attempt
+  kDownloadRetry = 10,    // a = segment, v0 = backoff s, v1 = attempt
+  kDownloadDegraded = 11, // a = segment, v0 = degrade level, v1 = bandwidth B/s
 };
-inline constexpr std::size_t kTraceEventKinds = 9;
+inline constexpr std::size_t kTraceEventKinds = 12;
 
 // Stable wire name of a record kind ("segment_planned", ...).
 const char* trace_event_name(TraceEventKind kind);

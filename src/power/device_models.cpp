@@ -7,13 +7,17 @@ namespace ps360::power {
 const std::string& device_name(Device device) {
   static const std::array<std::string, kDeviceCount> names = {
       "Nexus 5X", "Pixel 3", "Galaxy S20"};
-  return names[static_cast<std::size_t>(device)];
+  const auto index = static_cast<std::size_t>(device);
+  PS360_CHECK(index < names.size());
+  return names[index];
 }
 
 const std::string& decode_profile_name(DecodeProfile profile) {
   static const std::array<std::string, kDecodeProfileCount> names = {
       "Ctile", "Ftile", "Nontile", "Ptile"};
-  return names[static_cast<std::size_t>(profile)];
+  const auto index = static_cast<std::size_t>(profile);
+  PS360_CHECK(index < names.size());
+  return names[index];
 }
 
 double LinearPower::at(double fps) const {
@@ -60,7 +64,9 @@ const DeviceModel& device_model(Device device) {
           LinearPower{108.21, 3.98},
       },
   };
-  return models[static_cast<std::size_t>(device)];
+  const auto index = static_cast<std::size_t>(device);
+  PS360_CHECK(index < models.size());
+  return models[index];
 }
 
 }  // namespace ps360::power

@@ -10,7 +10,9 @@ namespace ps360::predict {
 const std::string& bandwidth_estimator_name(BandwidthEstimatorKind kind) {
   static const std::array<std::string, kBandwidthEstimatorKindCount> names = {
       "last", "mean", "ewma", "harmonic"};
-  return names[static_cast<std::size_t>(kind)];
+  const auto index = static_cast<std::size_t>(kind);
+  PS360_CHECK(index < names.size());
+  return names[index];
 }
 
 namespace {

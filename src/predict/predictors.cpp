@@ -10,7 +10,9 @@ namespace ps360::predict {
 const std::string& predictor_name(PredictorKind kind) {
   static const std::array<std::string, kPredictorKindCount> names = {
       "hold", "linear", "ridge", "oracle"};
-  return names[static_cast<std::size_t>(kind)];
+  const auto index = static_cast<std::size_t>(kind);
+  PS360_CHECK(index < names.size());
+  return names[index];
 }
 
 ViewportPredictorConfig make_predictor_config(PredictorKind kind,

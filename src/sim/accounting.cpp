@@ -4,11 +4,17 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/rng.h"
 #include "util/units.h"
 
 namespace ps360::sim {
 
 namespace {
+
+// Stream tag folding SessionConfig.seed with RecoveryConfig.seed (used as a
+// per-session stream index by the fleet engine) into the jitter seed the
+// client actually runs with.
+constexpr std::uint64_t kRecoverySeedStream = 0x4EC0FE4ULL;
 
 SchemeEnv make_env(const VideoWorkload& workload, const video::EncodingModel& encoding,
                    const qoe::QoModel& qo_model, const power::DeviceModel& device,
@@ -65,6 +71,9 @@ ClientConfig SessionAccountant::client_config() const {
   client_config.predictor = config_.predictor;
   client_config.predictor_kind = config_.predictor_kind;
   client_config.bandwidth_kind = config_.bandwidth_kind;
+  client_config.recovery = config_.recovery;
+  client_config.recovery.seed =
+      util::derive_seed(config_.seed, kRecoverySeedStream, config_.recovery.seed);
   return client_config;
 }
 

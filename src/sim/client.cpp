@@ -5,8 +5,17 @@
 
 #include "core/buffer.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace ps360::sim {
+
+namespace {
+
+// Stream tag for backoff jitter: one independent stream per (recovery seed,
+// segment, attempt) so retry schedules are reproducible and order-invariant.
+constexpr std::uint64_t kBackoffStream = 0xBAC0FFULL;
+
+}  // namespace
 
 StreamingClient::StreamingClient(ClientConfig config, const VideoWorkload& workload,
                                  const Scheme& scheme, const trace::HeadTrace& head)
@@ -21,6 +30,19 @@ StreamingClient::StreamingClient(ClientConfig config, const VideoWorkload& workl
                                                    config_.initial_bandwidth_bytes_per_s)) {
   PS360_CHECK(config_.mpc.segment_seconds > 0.0);
   PS360_CHECK(config_.mpc.buffer_threshold_s > 0.0);
+  PS360_CHECK_MSG(config_.recovery.max_attempts >= 1,
+                  "recovery needs at least one attempt");
+  PS360_CHECK(config_.recovery.timeout_s > 0.0);
+  PS360_CHECK(config_.recovery.backoff_base_s >= 0.0);
+  PS360_CHECK(config_.recovery.backoff_max_s >= config_.recovery.backoff_base_s);
+  PS360_CHECK_MSG(
+      config_.recovery.backoff_jitter >= 0.0 && config_.recovery.backoff_jitter < 1.0,
+      "backoff jitter must be in [0, 1)");
+  PS360_CHECK_MSG(config_.recovery.degrade_after >= 1,
+                  "degrade_after must be >= 1");
+  PS360_CHECK_MSG(config_.recovery.degrade_bandwidth_factor > 0.0 &&
+                      config_.recovery.degrade_bandwidth_factor < 1.0,
+                  "degrade factor must be in (0, 1)");
 }
 
 void StreamingClient::attach_observer(obs::Observer* observer, std::uint32_t session,
@@ -40,6 +62,12 @@ void StreamingClient::attach_observer(obs::Observer* observer, std::uint32_t ses
     id_download_hist_ =
         metrics.histogram("client.download_seconds", {1e-3, 2.0, 24});
     id_bytes_hist_ = metrics.histogram("client.segment_bytes", {1e3, 2.0, 24});
+    id_retries_ = metrics.counter("client.retries");
+    id_timeouts_ = metrics.counter("client.timeouts");
+    id_losses_ = metrics.counter("client.losses");
+    id_outages_ = metrics.counter("client.outage_failures");
+    id_degradations_ = metrics.counter("client.degradations");
+    id_recovery_s_ = metrics.counter("client.recovery_seconds");
   }
   // The scheme is attached separately (SessionAccountant::attach_observer —
   // the accountant owns the mutable scheme; the client only borrows it
@@ -106,6 +134,7 @@ std::optional<ClientRequest> StreamingClient::plan_next() {
   prev_plan_qo_ = request.plan.option.qo;
   pending_bytes_ = request.plan.option.bytes;
   awaiting_download_ = true;
+  current_request_ = request;  // kept for degraded re-planning
 
   if (observer_ != nullptr) {
     if (observer_->metrics != nullptr) {
@@ -121,6 +150,102 @@ std::optional<ClientRequest> StreamingClient::plan_next() {
   return request;
 }
 
+FailureAction StreamingClient::report_download_failure(double elapsed_s,
+                                                       FailureReason reason) {
+  PS360_CHECK_MSG(awaiting_download_, "no download in flight");
+  PS360_CHECK(elapsed_s >= 0.0);
+  const RecoveryConfig& rc = config_.recovery;
+
+  ++attempt_;
+  FailureAction action;
+  action.attempt = attempt_;
+
+  // Capped exponential backoff with seeded jitter. The jitter stream is a
+  // pure function of (recovery seed, segment, attempt), so schedules are
+  // bit-reproducible regardless of thread count or call order elsewhere.
+  double backoff = rc.backoff_base_s;
+  for (std::size_t i = 1; i < attempt_ && backoff < rc.backoff_max_s; ++i)
+    backoff *= 2.0;
+  backoff = std::min(backoff, rc.backoff_max_s);
+  if (rc.backoff_jitter > 0.0 && backoff > 0.0) {
+    util::Rng rng(util::derive_seed(
+        util::derive_seed(rc.seed, kBackoffStream, next_segment_), attempt_));
+    backoff *= 1.0 + rc.backoff_jitter * (2.0 * rng.uniform() - 1.0);
+  }
+  action.backoff_s = backoff;
+
+  // The failed attempt plus the backoff both burn wall time; playback drains
+  // the buffer meanwhile, possibly into a stall (not for the startup segment
+  // — nothing is playing yet). The stall is folded into complete_download's
+  // return so accounting sees one number per segment.
+  const double dt = elapsed_s + backoff;
+  if (dt > 0.0) {
+    wall_t_ += dt;
+    const double drained = std::min(buffer_s_, dt);
+    if (next_segment_ > 0) fault_stall_s_ += dt - drained;
+    buffer_s_ -= drained;
+  }
+
+  action.degrade =
+      attempt_ % rc.degrade_after == 0 && degrade_level_ < rc.max_degrade_steps;
+  action.final_attempt = attempt_ + 1 >= rc.max_attempts;
+
+  if (observer_ != nullptr) {
+    observer_->now_s = obs_clock_offset_s_ + wall_t_;
+    const auto segment = static_cast<std::int64_t>(next_segment_);
+    if (observer_->metrics != nullptr) {
+      observer_->metrics->add(id_retries_);
+      switch (reason) {
+        case FailureReason::kTimeout: observer_->metrics->add(id_timeouts_); break;
+        case FailureReason::kLost: observer_->metrics->add(id_losses_); break;
+        case FailureReason::kOutage: observer_->metrics->add(id_outages_); break;
+      }
+      observer_->metrics->add(id_recovery_s_, dt);
+    }
+    obs::trace(observer_, obs_session_, obs::TraceEventKind::kDownloadTimeout,
+               segment, elapsed_s, static_cast<double>(attempt_));
+    obs::trace(observer_, obs_session_, obs::TraceEventKind::kDownloadRetry,
+               segment, backoff, static_cast<double>(attempt_));
+  }
+  return action;
+}
+
+ClientRequest StreamingClient::replan_degraded() {
+  PS360_CHECK_MSG(awaiting_download_, "no download in flight");
+  PS360_CHECK_MSG(degrade_level_ < config_.recovery.max_degrade_steps,
+                  "degradation ladder exhausted");
+  ++degrade_level_;
+
+  // Re-run the scheme against a pessimistic bandwidth: each step halves (by
+  // default) the estimate the plan sees, so the MPC picks a cheaper version /
+  // frame rate / tile set. Prediction context stays as planned — the head
+  // trace hasn't advanced (playback is stalled or draining, not consuming
+  // new segments).
+  const double haircut = std::pow(config_.recovery.degrade_bandwidth_factor,
+                                  static_cast<double>(degrade_level_));
+  const double degraded_bps = current_request_.bandwidth_estimate_bps * haircut;
+
+  if (observer_ != nullptr) observer_->now_s = obs_clock_offset_s_ + wall_t_;
+  current_request_.plan = scheme_->plan(
+      next_segment_, current_request_.predicted, current_request_.predicted_sfov,
+      degraded_bps, buffer_s_, prev_plan_qo_);
+  PS360_ASSERT_MSG(current_request_.plan.option.bytes > 0.0,
+                   "a degraded plan must still download something");
+  current_request_.buffer_at_request_s = buffer_s_;
+  current_request_.bandwidth_estimate_bps = degraded_bps;
+  prev_plan_qo_ = current_request_.plan.option.qo;
+  pending_bytes_ = current_request_.plan.option.bytes;
+
+  if (observer_ != nullptr) {
+    if (observer_->metrics != nullptr)
+      observer_->metrics->add(id_degradations_);
+    obs::trace(observer_, obs_session_, obs::TraceEventKind::kDownloadDegraded,
+               static_cast<std::int64_t>(next_segment_),
+               static_cast<double>(degrade_level_), degraded_bps);
+  }
+  return current_request_;
+}
+
 double StreamingClient::complete_download(double download_s) {
   PS360_CHECK_MSG(awaiting_download_, "no download in flight");
   PS360_CHECK(download_s > 0.0);
@@ -134,11 +259,15 @@ double StreamingClient::complete_download(double download_s) {
                                   config_.mpc.buffer_quantum_s);
   const core::BufferStep step = buffers.advance(buffer_s_, download_s);
   PS360_ASSERT(step.wait_s == 0.0);
-  const double stall = next_segment_ == 0 ? 0.0 : step.stall_s;
+  const double stall =
+      (next_segment_ == 0 ? 0.0 : step.stall_s) + fault_stall_s_;
   buffer_s_ = step.next_buffer_s;
 
   awaiting_download_ = false;
   pending_bytes_ = 0.0;
+  attempt_ = 0;
+  degrade_level_ = 0;
+  fault_stall_s_ = 0.0;
   ++next_segment_;
 
   if (observer_ != nullptr) {

@@ -23,6 +23,23 @@
 
 namespace ps360::sim {
 
+// Bounded recovery policy for failed downloads: capped exponential backoff
+// with seeded jitter, and a degradation ladder that re-plans the segment
+// against a pessimistic bandwidth so repeated failures fetch less, not more.
+// The final attempt (attempt max_attempts) is the caller's guaranteed-
+// delivery path, so the loop always terminates.
+struct RecoveryConfig {
+  std::size_t max_attempts = 6;     // hard ceiling, >= 1; last attempt succeeds
+  double timeout_s = 4.0;           // per-attempt deadline (seconds, > 0)
+  double backoff_base_s = 0.25;     // first retry delay
+  double backoff_max_s = 4.0;       // backoff cap
+  double backoff_jitter = 0.25;     // +/- fraction of jitter on each backoff
+  std::size_t degrade_after = 2;    // degrade every this many failures (>= 1)
+  std::size_t max_degrade_steps = 3;
+  double degrade_bandwidth_factor = 0.5;  // bandwidth haircut per degrade step
+  std::uint64_t seed = 0;           // jitter stream (derive per session)
+};
+
 struct ClientConfig {
   core::MpcConfig mpc;                // L, β, quantum, ε, weights
   std::size_t mpc_horizon = 5;        // H
@@ -33,6 +50,22 @@ struct ClientConfig {
   predict::PredictorKind predictor_kind = predict::PredictorKind::kRidge;
   predict::BandwidthEstimatorKind bandwidth_kind =
       predict::BandwidthEstimatorKind::kHarmonic;
+  RecoveryConfig recovery;
+};
+
+// Why a download attempt failed, for per-reason counters.
+enum class FailureReason {
+  kTimeout = 0,  // deadline expired mid-transfer
+  kLost = 1,     // request vanished (no bytes ever arrived)
+  kOutage = 2,   // link was blacked out when the request was issued
+};
+
+// What the client decided after a failure was reported.
+struct FailureAction {
+  std::size_t attempt = 0;     // failures so far for this segment
+  double backoff_s = 0.0;      // delay before the next attempt (already applied)
+  bool degrade = false;        // caller should invoke replan_degraded()
+  bool final_attempt = false;  // next attempt must be driven to completion
 };
 
 // One planned request: what to fetch for the next segment plus the
@@ -60,8 +93,29 @@ class StreamingClient {
   std::optional<ClientRequest> plan_next();
 
   // Report how long the planned download took (seconds, > 0). Returns the
-  // stall time this download caused (0 for the startup segment).
+  // stall time this download caused (0 for the startup segment). Any buffer
+  // drained by failed attempts (report_download_failure) is folded into the
+  // returned stall.
   double complete_download(double download_s);
+
+  // Report that the in-flight attempt failed after `elapsed_s` seconds
+  // (>= 0). Advances the wall clock by elapsed_s plus a capped, seeded-jitter
+  // exponential backoff, drains the buffer accordingly, and returns what to
+  // do next. Throws if no download is in flight — state is untouched then.
+  FailureAction report_download_failure(double elapsed_s, FailureReason reason);
+
+  // Re-plan the pending segment one degradation step down: the scheme is
+  // re-run against a bandwidth haircut of degrade_bandwidth_factor^level, so
+  // repeated failures shrink the request (lower version / fewer tiles / lower
+  // frame rate) instead of retrying the same doomed bytes. Returns the
+  // updated request. Requires an in-flight download and a non-exhausted
+  // ladder (FailureAction.degrade said so).
+  ClientRequest replan_degraded();
+
+  // Recovery state.
+  const RecoveryConfig& recovery() const { return config_.recovery; }
+  std::size_t attempts() const { return attempt_; }
+  std::size_t degrade_level() const { return degrade_level_; }
 
   // Attach a nullable metrics/trace observer. `session` labels this client's
   // records; `clock_offset_s` maps the client's private wall clock onto the
@@ -95,6 +149,13 @@ class StreamingClient {
   bool awaiting_download_ = false;
   double pending_bytes_ = 0.0;
 
+  // Recovery state for the in-flight segment; all zero on the happy path,
+  // so the fault layer is inert when nothing fails.
+  std::size_t attempt_ = 0;        // failures so far for this segment
+  std::size_t degrade_level_ = 0;  // degradation steps taken for this segment
+  double fault_stall_s_ = 0.0;     // stall accrued by failed attempts
+  ClientRequest current_request_;  // last plan, for degraded re-planning
+
   // Observability (nullable; ids cached at attach so the hot path is an
   // index-add). Observation is write-only: no client state depends on it.
   obs::Observer* observer_ = nullptr;
@@ -107,6 +168,12 @@ class StreamingClient {
   obs::MetricsRegistry::Id id_stall_s_ = 0;
   obs::MetricsRegistry::Id id_download_hist_ = 0;
   obs::MetricsRegistry::Id id_bytes_hist_ = 0;
+  obs::MetricsRegistry::Id id_retries_ = 0;
+  obs::MetricsRegistry::Id id_timeouts_ = 0;
+  obs::MetricsRegistry::Id id_losses_ = 0;
+  obs::MetricsRegistry::Id id_outages_ = 0;
+  obs::MetricsRegistry::Id id_degradations_ = 0;
+  obs::MetricsRegistry::Id id_recovery_s_ = 0;
 };
 
 }  // namespace ps360::sim

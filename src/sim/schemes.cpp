@@ -15,7 +15,9 @@ using geometry::Viewport;
 const std::string& scheme_name(SchemeKind kind) {
   static const std::array<std::string, kSchemeCount> names = {
       "Ctile", "Ftile", "Nontile", "Ptile", "Ours"};
-  return names[static_cast<std::size_t>(kind)];
+  const auto index = static_cast<std::size_t>(kind);
+  PS360_CHECK(index < names.size());
+  return names[index];
 }
 
 std::vector<SchemeKind> all_schemes() {

@@ -21,7 +21,9 @@
 #include "predict/bandwidth_estimators.h"
 #include "predict/predictors.h"
 #include "qoe/qoe_model.h"
+#include "sim/client.h"
 #include "sim/schemes.h"
+#include "trace/fault_schedule.h"
 #include "trace/network_trace.h"
 
 namespace ps360::sim {
@@ -54,6 +56,13 @@ struct SessionConfig {
       predict::BandwidthEstimatorKind::kHarmonic;
   video::EncodingConfig encoding;
   qoe::QoParams qo_params;
+
+  // Fault injection (off by default — provably inert then, pinned by the
+  // fault differential test) and the client's bounded recovery policy.
+  // RecoveryConfig::seed is a stream index: the accountant folds it with
+  // `seed` above, and the fleet engine sets it per session.
+  trace::FaultConfig faults;
+  RecoveryConfig recovery;
 };
 
 struct SegmentRecord {

@@ -24,6 +24,10 @@ NetworkTrace::NetworkTrace(std::vector<ThroughputSample> samples)
           ? samples_.back().t - samples_[samples_.size() - 2].t
           : 1.0;
   end_time_ = samples_.back().t + last_step;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const double seg_end = i + 1 < samples_.size() ? samples_[i + 1].t : end_time_;
+    bytes_per_period_ += samples_[i].mbps * 1e6 / 8.0 * (seg_end - samples_[i].t);
+  }
 }
 
 double NetworkTrace::wrap_time(double t) const {
@@ -70,21 +74,42 @@ double NetworkTrace::next_rate_change_after(double t) const {
   return t + dt;
 }
 
+// Interval of the (wrapped) trace containing time t: sample index plus the
+// seconds left in that interval. When wrap_time's fmod rounding lands wt on
+// the trace end itself, t is really at the start of a fresh period, so step
+// exactly into the first interval at the first sample's rate — never a
+// fabricated chunk at the pre-wrap sample's rate (that overcounted integrals
+// spanning the boundary and could degenerate into 1e-6-second crawling).
+NetworkTrace::WrapStep NetworkTrace::step_at(double t) const {
+  const double wt = wrap_time(t);
+  const std::size_t idx = index_at(wt);
+  const double seg_end =
+      (idx + 1 < samples_.size()) ? samples_[idx + 1].t : end_time_;
+  const double chunk = seg_end - wt;
+  if (chunk > 0.0) return WrapStep{idx, chunk};
+  const double first_end = samples_.size() >= 2 ? samples_[1].t : end_time_;
+  return WrapStep{0, first_end - samples_.front().t};
+}
+
 double NetworkTrace::bytes_in(double t0, double t1) const {
   PS360_CHECK(t1 >= t0);
   // Integrate piecewise-constant Mbps over wall time; step through samples,
   // wrapping at the trace end. Mbps -> bytes/s is * 1e6 / 8.
   double bytes = 0.0;
   double t = t0;
+  // Whole periods contribute a phase-independent constant; fast-forward them
+  // (the clamped region before the first sample is not periodic, so only
+  // once t is inside the trace).
+  const double span = period_s();
+  if (t >= samples_.front().t && t1 - t >= span) {
+    const double periods = std::floor((t1 - t) / span);
+    bytes += periods * bytes_per_period_;
+    t += periods * span;
+  }
   while (t < t1 - 1e-12) {
-    const double wt = wrap_time(t);
-    const std::size_t idx = index_at(wt);
-    const double seg_end_local =
-        (idx + 1 < samples_.size()) ? samples_[idx + 1].t : end_time_;
-    double chunk = seg_end_local - wt;
-    if (chunk <= 0.0) chunk = 1e-6;  // numeric guard at the wrap boundary
-    chunk = std::min(chunk, t1 - t);
-    bytes += samples_[idx].mbps * 1e6 / 8.0 * chunk;
+    const WrapStep step = step_at(t);
+    const double chunk = std::min(step.chunk_s, t1 - t);
+    bytes += samples_[step.index].mbps * 1e6 / 8.0 * chunk;
     t += chunk;
   }
   return bytes;
@@ -95,18 +120,20 @@ double NetworkTrace::time_to_download(double bytes, double t0) const {
   if (bytes == 0.0) return 0.0;
   double remaining = bytes;
   double t = t0;
+  // Fast-forward whole trace periods: a multi-gigabyte request on a short
+  // trace would otherwise grind through every sample of every wrap.
+  if (t >= samples_.front().t && remaining > bytes_per_period_) {
+    const double periods = std::floor(remaining / bytes_per_period_);
+    remaining = std::max(remaining - periods * bytes_per_period_, 0.0);
+    t += periods * period_s();
+  }
   for (;;) {
-    const double wt = wrap_time(t);
-    const std::size_t idx = index_at(wt);
-    const double seg_end_local =
-        (idx + 1 < samples_.size()) ? samples_[idx + 1].t : end_time_;
-    double chunk = seg_end_local - wt;
-    if (chunk <= 0.0) chunk = 1e-6;
-    const double rate_bytes_s = samples_[idx].mbps * 1e6 / 8.0;
-    const double deliverable = rate_bytes_s * chunk;
+    const WrapStep step = step_at(t);
+    const double rate_bytes_s = samples_[step.index].mbps * 1e6 / 8.0;
+    const double deliverable = rate_bytes_s * step.chunk_s;
     if (deliverable >= remaining) return (t - t0) + remaining / rate_bytes_s;
     remaining -= deliverable;
-    t += chunk;
+    t += step.chunk_s;
   }
 }
 
@@ -169,14 +196,43 @@ void save_network_trace(const std::filesystem::path& path, const NetworkTrace& t
 }
 
 NetworkTrace load_network_trace(const std::filesystem::path& path) {
-  const util::CsvTable table = util::read_csv_file(path, /*has_header=*/true);
-  const std::size_t ct = table.column("t");
-  const std::size_t cm = table.column("mbps");
+  // Malformed inputs (ragged rows, non-numeric cells, missing columns, bad
+  // sample values) surface as std::runtime_error naming the file, never as
+  // an out-of-bounds row access.
+  util::CsvTable table;
+  std::size_t ct = 0, cm = 0;
+  try {
+    table = util::read_csv_file(path, /*has_header=*/true);
+    ct = table.column("t");
+    cm = table.column("mbps");
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error("malformed network trace " + path.string() + ": " +
+                             e.what());
+  }
+  if (table.rows.empty())
+    throw std::runtime_error("network trace " + path.string() +
+                             " has no data rows");
+  const std::size_t need = std::max(ct, cm) + 1;
   std::vector<ThroughputSample> samples;
   samples.reserve(table.rows.size());
-  for (const auto& row : table.rows)
+  for (std::size_t i = 0; i < table.rows.size(); ++i) {
+    const auto& row = table.rows[i];
+    // Defense in depth: the parser rejects ragged rows against the header,
+    // but never index a row narrower than the named columns. Data row i is
+    // line i + 2 of the file (after the header), modulo comment lines.
+    if (row.size() < need)
+      throw std::runtime_error("network trace " + path.string() + " line " +
+                               std::to_string(i + 2) + ": row has " +
+                               std::to_string(row.size()) +
+                               " columns, need at least " + std::to_string(need));
     samples.push_back(ThroughputSample{row[ct], row[cm]});
-  return NetworkTrace(std::move(samples));
+  }
+  try {
+    return NetworkTrace(std::move(samples));
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error("invalid network trace " + path.string() + ": " +
+                             e.what());
+  }
 }
 
 }  // namespace ps360::trace

@@ -29,6 +29,14 @@ class NetworkTrace {
   const std::vector<ThroughputSample>& samples() const { return samples_; }
   double end_time() const { return end_time_; }
 
+  // Length of one trace period (end_time() - first sample time) and the
+  // bytes one full period delivers. Because the trace is periodic past its
+  // end, any window of exactly period_s() seconds delivers bytes_per_period()
+  // regardless of phase — which is what lets bytes_in/time_to_download
+  // fast-forward whole wraps instead of stepping sample by sample.
+  double period_s() const { return end_time_ - samples_.front().t; }
+  double bytes_per_period() const { return bytes_per_period_; }
+
   // Throughput at time t (piecewise-constant; clamps outside the range,
   // and wraps around for t beyond the trace end so long sessions can loop).
   double throughput_at(double t) const;
@@ -57,9 +65,17 @@ class NetworkTrace {
   // Index of the sample whose interval contains (wrapped) time t.
   std::size_t index_at(double wrapped_t) const;
   double wrap_time(double t) const;
+  // Sample index at time t plus the seconds until that interval ends,
+  // stepping exactly onto a fresh period at the wrap boundary.
+  struct WrapStep {
+    std::size_t index = 0;
+    double chunk_s = 0.0;
+  };
+  WrapStep step_at(double t) const;
 
   std::vector<ThroughputSample> samples_;
   double end_time_ = 0.0;
+  double bytes_per_period_ = 0.0;
 };
 
 struct NetworkSynthConfig {

@@ -1,0 +1,565 @@
+// Tests for the fault-injection layer: trace::FaultSchedule determinism, the
+// client's bounded retry/backoff/degradation state machine, and the two
+// hard contracts of ISSUE 5 — the layer is provably inert when disabled
+// (bit-identical results for every scheme, single sessions and fleets, any
+// thread count), and with faults enabled every scheme still completes every
+// session with reproducible, nonzero recovery counters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "fleet/engine.h"
+#include "fleet/runner.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/tracer.h"
+#include "sim/accounting.h"
+#include "sim/client.h"
+#include "sim/session.h"
+#include "sim/workload.h"
+#include "trace/fault_schedule.h"
+#include "trace/video_catalog.h"
+
+namespace ps360 {
+namespace {
+
+const sim::VideoWorkload& test_workload() {
+  static const trace::VideoInfo video = [] {
+    trace::VideoInfo v = trace::test_videos()[1];
+    v.duration_s = 20.0;
+    return v;
+  }();
+  static const sim::VideoWorkload workload(video, sim::WorkloadConfig{});
+  return workload;
+}
+
+void expect_bit_identical(const sim::SessionResult& a, const sim::SessionResult& b) {
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (std::size_t k = 0; k < a.segments.size(); ++k) {
+    EXPECT_EQ(a.segments[k].quality, b.segments[k].quality);
+    EXPECT_EQ(a.segments[k].frame_index, b.segments[k].frame_index);
+    EXPECT_EQ(a.segments[k].bytes, b.segments[k].bytes);
+    EXPECT_EQ(a.segments[k].download_s, b.segments[k].download_s);
+    EXPECT_EQ(a.segments[k].stall_s, b.segments[k].stall_s);
+    EXPECT_EQ(a.segments[k].buffer_before_s, b.segments[k].buffer_before_s);
+  }
+  EXPECT_EQ(a.energy.total_mj(), b.energy.total_mj());
+  EXPECT_EQ(a.qoe.mean_q, b.qoe.mean_q);
+  EXPECT_EQ(a.total_stall_s, b.total_stall_s);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.rebuffer_events, b.rebuffer_events);
+}
+
+constexpr sim::SchemeKind kAllSchemes[] = {
+    sim::SchemeKind::kOurs, sim::SchemeKind::kCtile, sim::SchemeKind::kFtile,
+    sim::SchemeKind::kNontile};
+
+trace::FaultConfig hostile_faults() {
+  trace::FaultConfig faults;
+  faults.enabled = true;
+  faults.outage_spacing_s = 15.0;  // frequent blackouts
+  faults.outage_mean_s = 1.5;
+  faults.outage_max_s = 5.0;
+  faults.loss_probability = 0.2;
+  faults.spike_probability = 0.3;
+  faults.spike_mean_s = 0.5;
+  return faults;
+}
+
+// ---------------------------------------------------------- FaultSchedule
+
+TEST(FaultScheduleTest, DeterministicPerSeed) {
+  const trace::FaultConfig config = hostile_faults();
+  trace::FaultSchedule a(config, 7), b(config, 7), c(config, 8);
+  a.outage_at(500.0);
+  b.outage_at(500.0);
+  c.outage_at(500.0);
+  ASSERT_EQ(a.windows().size(), b.windows().size());
+  for (std::size_t i = 0; i < a.windows().size(); ++i) {
+    EXPECT_EQ(a.windows()[i].begin, b.windows()[i].begin);
+    EXPECT_EQ(a.windows()[i].end, b.windows()[i].end);
+  }
+  // A different seed produces a different renewal process.
+  ASSERT_FALSE(c.windows().empty());
+  EXPECT_NE(a.windows()[0].begin, c.windows()[0].begin);
+}
+
+TEST(FaultScheduleTest, WindowsAreOrderedDisjointAndCapped) {
+  trace::FaultSchedule schedule(hostile_faults(), 42);
+  schedule.outage_at(1000.0);
+  const auto& windows = schedule.windows();
+  ASSERT_GT(windows.size(), 10u);
+  double prev_end = 0.0;
+  for (const auto& w : windows) {
+    EXPECT_GT(w.begin, prev_end);
+    EXPECT_GT(w.end, w.begin);
+    EXPECT_LE(w.end - w.begin, hostile_faults().outage_max_s + 1e-12);
+    prev_end = w.end;
+  }
+}
+
+TEST(FaultScheduleTest, OutageAtAgreesWithWindows) {
+  trace::FaultSchedule schedule(hostile_faults(), 42);
+  schedule.outage_at(400.0);  // force generation
+  const auto windows = schedule.windows();
+  ASSERT_FALSE(windows.empty());
+  const auto& w = windows[windows.size() / 2];
+  const double mid = 0.5 * (w.begin + w.end);
+  const auto hit = schedule.outage_at(mid);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->begin, w.begin);
+  EXPECT_EQ(hit->end, w.end);
+  // Just before the window and at its (half-open) end: no outage.
+  if (w.begin > 0.0) {
+    EXPECT_FALSE(schedule.outage_at(w.begin - 1e-9).has_value());
+  }
+  EXPECT_FALSE(schedule.outage_at(w.end).has_value());
+}
+
+TEST(FaultScheduleTest, AttemptFaultIsOrderInvariant) {
+  const trace::FaultConfig config = hostile_faults();
+  trace::FaultSchedule fwd(config, 99), rev(config, 99);
+  std::vector<trace::AttemptFault> forward, reverse;
+  for (std::size_t s = 0; s < 10; ++s)
+    for (std::size_t a = 1; a <= 4; ++a) forward.push_back(fwd.attempt_fault(s, a));
+  for (std::size_t s = 10; s-- > 0;)
+    for (std::size_t a = 4; a >= 1; --a) reverse.push_back(rev.attempt_fault(s, a));
+  bool any_lost = false, any_spike = false;
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    const std::size_t j = forward.size() - 1 - i;
+    EXPECT_EQ(forward[i].lost, reverse[j].lost);
+    EXPECT_EQ(forward[i].spike_s, reverse[j].spike_s);
+    any_lost = any_lost || forward[i].lost;
+    any_spike = any_spike || forward[i].spike_s > 0.0;
+  }
+  EXPECT_TRUE(any_lost);
+  EXPECT_TRUE(any_spike);
+}
+
+TEST(FaultScheduleTest, OutageOverlapMatchesManualIntegral) {
+  trace::FaultSchedule schedule(hostile_faults(), 42);
+  const double t0 = 0.0, busy = 200.0;
+  const double overlap = schedule.outage_overlap(t0, busy);
+  // Manual check: total outage inside [t0, t0 + busy + overlap).
+  double manual = 0.0;
+  for (const auto& w : schedule.windows()) {
+    const double lo = std::max(w.begin, t0);
+    const double hi = std::min(w.end, t0 + busy + overlap);
+    if (hi > lo) manual += hi - lo;
+  }
+  EXPECT_DOUBLE_EQ(overlap, manual);
+  EXPECT_GT(overlap, 0.0);
+  EXPECT_DOUBLE_EQ(schedule.outage_overlap(t0, 0.0), 0.0);
+}
+
+TEST(FaultScheduleTest, DisabledScheduleIsInert) {
+  trace::FaultConfig config = hostile_faults();
+  config.enabled = false;
+  trace::FaultSchedule schedule(config, 7);
+  EXPECT_FALSE(schedule.outage_at(100.0).has_value());
+  EXPECT_DOUBLE_EQ(schedule.outage_overlap(0.0, 1000.0), 0.0);
+  for (std::size_t a = 1; a <= 8; ++a) {
+    const auto fault = schedule.attempt_fault(3, a);
+    EXPECT_FALSE(fault.lost);
+    EXPECT_DOUBLE_EQ(fault.spike_s, 0.0);
+  }
+  EXPECT_TRUE(schedule.windows().empty());
+}
+
+TEST(FaultScheduleTest, ValidatesConfig) {
+  trace::FaultConfig config;
+  config.loss_probability = 1.5;
+  EXPECT_THROW(trace::FaultSchedule(config, 1), std::invalid_argument);
+  config = trace::FaultConfig{};
+  config.spike_probability = -0.1;
+  EXPECT_THROW(trace::FaultSchedule(config, 1), std::invalid_argument);
+  config = trace::FaultConfig{};
+  config.outage_mean_s = 0.0;
+  EXPECT_THROW(trace::FaultSchedule(config, 1), std::invalid_argument);
+}
+
+// ------------------------------------------- client recovery state machine
+
+struct ClientFixture {
+  ClientFixture() {
+    workload = &test_workload();
+    env.workload = workload;
+    env.encoding = &encoding;
+    env.qo_model = &qo_model;
+    env.device = &power::device_model(power::Device::kPixel3);
+    scheme = make_scheme(sim::SchemeKind::kOurs, env);
+  }
+
+  sim::StreamingClient make_client(sim::ClientConfig config = {}) const {
+    return sim::StreamingClient(config, *workload, *scheme,
+                                workload->test_trace(0));
+  }
+
+  const sim::VideoWorkload* workload;
+  video::EncodingModel encoding;
+  qoe::QoModel qo_model{qoe::QoParams{}, 4.0};
+  sim::SchemeEnv env;
+  std::unique_ptr<sim::Scheme> scheme;
+};
+
+TEST(RecoveryTest, BackoffSequenceIsCappedAndSeededDeterministic) {
+  const ClientFixture fixture;
+  sim::ClientConfig config;
+  config.recovery.max_attempts = 16;
+  config.recovery.seed = 7;
+  const auto collect = [&] {
+    auto client = fixture.make_client(config);
+    client.plan_next();
+    std::vector<double> backoffs;
+    for (int i = 0; i < 10; ++i)
+      backoffs.push_back(
+          client.report_download_failure(0.1, sim::FailureReason::kTimeout)
+              .backoff_s);
+    return backoffs;
+  };
+  const std::vector<double> a = collect(), b = collect();
+  const sim::RecoveryConfig& rc = config.recovery;
+  double nominal = rc.backoff_base_s;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Bit-identical across runs (seeded jitter, no global state).
+    EXPECT_EQ(a[i], b[i]) << "attempt " << i + 1;
+    // Within the jitter band around the capped exponential.
+    EXPECT_GE(a[i], nominal * (1.0 - rc.backoff_jitter) - 1e-12);
+    EXPECT_LE(a[i], nominal * (1.0 + rc.backoff_jitter) + 1e-12);
+    nominal = std::min(nominal * 2.0, rc.backoff_max_s);
+  }
+  // The tail is capped: nominal has saturated at backoff_max_s.
+  EXPECT_LE(a.back(), rc.backoff_max_s * (1.0 + rc.backoff_jitter) + 1e-12);
+
+  // A different seed produces a different jitter sequence.
+  config.recovery.seed = 8;
+  const std::vector<double> c = collect();
+  EXPECT_NE(a, c);
+}
+
+TEST(RecoveryTest, TimeoutAdvancesWallClockExactlyByDeadlinePlusBackoff) {
+  const ClientFixture fixture;
+  sim::ClientConfig config;
+  config.recovery.backoff_jitter = 0.0;  // exact arithmetic
+  auto client = fixture.make_client(config);
+  client.plan_next();
+  const double t0 = client.wall_time_s();
+  const auto action = client.report_download_failure(
+      config.recovery.timeout_s, sim::FailureReason::kTimeout);
+  EXPECT_DOUBLE_EQ(action.backoff_s, config.recovery.backoff_base_s);
+  EXPECT_DOUBLE_EQ(client.wall_time_s(),
+                   t0 + config.recovery.timeout_s + action.backoff_s);
+  EXPECT_EQ(action.attempt, 1u);
+}
+
+TEST(RecoveryTest, DegradationLadderShrinksRequestsAndTerminates) {
+  const ClientFixture fixture;
+  sim::ClientConfig config;
+  config.recovery.max_attempts = 32;  // plenty of room to exhaust the ladder
+  auto client = fixture.make_client(config);
+  const auto request = client.plan_next();
+  ASSERT_TRUE(request.has_value());
+  const double original_bytes = request->plan.option.bytes;
+
+  std::size_t degrades = 0;
+  double last_bytes = original_bytes;
+  double last_estimate = request->bandwidth_estimate_bps;
+  for (int i = 0; i < 20; ++i) {
+    const auto action =
+        client.report_download_failure(0.5, sim::FailureReason::kLost);
+    if (action.degrade) {
+      const sim::ClientRequest degraded = client.replan_degraded();
+      // Each step plans against a strictly smaller bandwidth estimate and
+      // may never grow the request (it can plateau once the plan is already
+      // at the cheapest option).
+      EXPECT_LT(degraded.bandwidth_estimate_bps, last_estimate);
+      EXPECT_LE(degraded.plan.option.bytes, last_bytes * (1.0 + 1e-9));
+      last_estimate = degraded.bandwidth_estimate_bps;
+      last_bytes = degraded.plan.option.bytes;
+      ++degrades;
+    }
+  }
+  // The ladder fired and then stopped at max_degrade_steps — never an
+  // unbounded retry-and-degrade loop.
+  EXPECT_EQ(degrades, config.recovery.max_degrade_steps);
+  EXPECT_EQ(client.degrade_level(), config.recovery.max_degrade_steps);
+
+  // The degraded request still completes and resets the recovery state.
+  client.complete_download(0.5);
+  EXPECT_EQ(client.attempts(), 0u);
+  EXPECT_EQ(client.degrade_level(), 0u);
+}
+
+TEST(RecoveryTest, FinalAttemptIsFlaggedBeforeTheCeiling) {
+  const ClientFixture fixture;
+  sim::ClientConfig config;
+  config.recovery.max_attempts = 3;
+  auto client = fixture.make_client(config);
+  client.plan_next();
+  const auto first =
+      client.report_download_failure(0.1, sim::FailureReason::kTimeout);
+  EXPECT_FALSE(first.final_attempt);  // attempt 2 may still fail
+  const auto second =
+      client.report_download_failure(0.1, sim::FailureReason::kTimeout);
+  EXPECT_TRUE(second.final_attempt);  // attempt 3 is the guaranteed one
+}
+
+TEST(RecoveryTest, MisuseThrowsWithoutCorruptingState) {
+  const ClientFixture fixture;
+  auto client = fixture.make_client();
+
+  // Reporting a failure (or degrading) with no download in flight throws…
+  EXPECT_THROW(client.report_download_failure(1.0, sim::FailureReason::kLost),
+               std::invalid_argument);
+  EXPECT_THROW(client.replan_degraded(), std::invalid_argument);
+
+  // …and the client still runs a full clean session afterwards.
+  std::size_t planned = 0;
+  while (auto request = client.plan_next()) {
+    EXPECT_THROW(client.report_download_failure(-1.0, sim::FailureReason::kLost),
+                 std::invalid_argument);  // negative elapsed rejected
+    client.complete_download(0.4);
+    ++planned;
+  }
+  EXPECT_EQ(planned, fixture.workload->segment_count());
+  EXPECT_EQ(client.attempts(), 0u);
+}
+
+// -------------------------------------------------- single-session driver
+
+TEST(FaultDifferentialTest, DisabledFaultLayerIsBitIdenticalPerScheme) {
+  const sim::VideoWorkload& workload = test_workload();
+  const auto traces = trace::make_paper_traces(/*seed=*/7, 300.0);
+
+  // Baseline: the default config (fault fields untouched).
+  // Candidate: faults disabled but every fault/recovery knob set to hostile
+  // values — none of it may leak into the results.
+  sim::SessionConfig candidate;
+  candidate.faults = hostile_faults();
+  candidate.faults.enabled = false;
+  candidate.recovery.max_attempts = 2;
+  candidate.recovery.timeout_s = 0.5;
+  candidate.recovery.backoff_base_s = 3.0;
+  candidate.recovery.seed = 1234;
+
+  for (const sim::SchemeKind scheme : kAllSchemes) {
+    const sim::SessionResult baseline = sim::simulate_session(
+        workload, /*test_user=*/0, scheme, traces.second, sim::SessionConfig{});
+    const sim::SessionResult off = sim::simulate_session(
+        workload, /*test_user=*/0, scheme, traces.second, candidate);
+    expect_bit_identical(baseline, off);
+  }
+}
+
+TEST(FaultSessionTest, EverySchemeCompletesUnderHostileFaults) {
+  const sim::VideoWorkload& workload = test_workload();
+  const auto traces = trace::make_paper_traces(/*seed=*/7, 300.0);
+  sim::SessionConfig config;
+  config.faults = hostile_faults();
+
+  for (const sim::SchemeKind scheme : kAllSchemes) {
+    const sim::SessionResult a =
+        sim::simulate_session(workload, 0, scheme, traces.second, config);
+    ASSERT_EQ(a.segments.size(), workload.segment_count());
+    // Reproducible per seed: a second run is bit-identical.
+    const sim::SessionResult b =
+        sim::simulate_session(workload, 0, scheme, traces.second, config);
+    expect_bit_identical(a, b);
+  }
+}
+
+TEST(FaultSessionTest, TotalLossStillTerminatesViaTheFinalAttempt) {
+  const sim::VideoWorkload& workload = test_workload();
+  const auto traces = trace::make_paper_traces(/*seed=*/7, 300.0);
+  sim::SessionConfig config;
+  config.faults.enabled = true;
+  config.faults.outage_spacing_s = 0.0;  // no outages, pure loss
+  config.faults.loss_probability = 1.0;  // every fallible attempt is lost
+  config.faults.spike_probability = 0.0;
+  config.recovery.max_attempts = 4;
+  config.recovery.timeout_s = 1.0;
+
+  obs::MetricsRegistry metrics;
+  obs::Observer observer{&metrics, nullptr};
+  const sim::SessionResult result = sim::simulate_session(
+      workload, 0, sim::SchemeKind::kOurs, traces.second, config, &observer);
+  ASSERT_EQ(result.segments.size(), workload.segment_count());
+  // Every segment burned exactly max_attempts - 1 losses before the
+  // guaranteed final attempt delivered.
+  const double expected =
+      static_cast<double>((config.recovery.max_attempts - 1) *
+                          workload.segment_count());
+  EXPECT_EQ(metrics.value("client.retries"), expected);
+  EXPECT_EQ(metrics.value("client.losses"), expected);
+  EXPECT_EQ(metrics.value("client.timeouts"), 0.0);
+  EXPECT_GT(metrics.value("client.degradations"), 0.0);
+}
+
+TEST(FaultSessionTest, CountersAreNonzeroAndReproduciblePerSeed) {
+  const sim::VideoWorkload& workload = test_workload();
+  const auto traces = trace::make_paper_traces(/*seed=*/7, 300.0);
+  sim::SessionConfig config;
+  config.faults = hostile_faults();
+
+  const auto run = [&] {
+    obs::MetricsRegistry metrics;
+    obs::EventTracer tracer(1 << 14);
+    obs::Observer observer{&metrics, &tracer};
+    sim::simulate_session(workload, 0, sim::SchemeKind::kOurs, traces.second,
+                          config, &observer);
+    return metrics.to_json();
+  };
+  const std::string a = run(), b = run();
+  EXPECT_EQ(a, b);
+
+  obs::MetricsRegistry metrics;
+  obs::EventTracer tracer(1 << 14);
+  obs::Observer observer{&metrics, &tracer};
+  sim::simulate_session(workload, 0, sim::SchemeKind::kOurs, traces.second,
+                        config, &observer);
+  EXPECT_GT(metrics.value("client.retries"), 0.0);
+  // Per-reason counters sum to the retry total.
+  EXPECT_EQ(metrics.value("client.timeouts") + metrics.value("client.losses") +
+                metrics.value("client.outage_failures"),
+            metrics.value("client.retries"));
+  // The retry/timeout records made it into the trace.
+  std::size_t retry_records = 0;
+  for (const obs::TraceRecord& r : tracer.snapshot())
+    if (r.kind == obs::TraceEventKind::kDownloadRetry) ++retry_records;
+  EXPECT_EQ(static_cast<double>(retry_records), metrics.value("client.retries"));
+}
+
+// ------------------------------------------------------------ fleet engine
+
+TEST(FaultDifferentialTest, FleetDisabledFaultLayerIsBitIdentical) {
+  const sim::VideoWorkload& workload = test_workload();
+  const auto traces = trace::make_paper_traces(/*seed=*/11, 300.0);
+
+  fleet::FleetConfig baseline;
+  baseline.sessions = 6;
+  baseline.seed = 99;
+  const fleet::FleetResult off =
+      fleet::run_fleet(workload, traces.second, baseline);
+
+  fleet::FleetConfig candidate = baseline;
+  candidate.session.faults = hostile_faults();
+  candidate.session.faults.enabled = false;
+  candidate.session.recovery.max_attempts = 2;
+  candidate.session.recovery.timeout_s = 0.5;
+  candidate.session.recovery.seed = 77;
+  const fleet::FleetResult on =
+      fleet::run_fleet(workload, traces.second, candidate);
+
+  ASSERT_EQ(off.sessions.size(), on.sessions.size());
+  for (std::size_t i = 0; i < off.sessions.size(); ++i) {
+    expect_bit_identical(off.sessions[i].result, on.sessions[i].result);
+    EXPECT_EQ(off.sessions[i].finish_s, on.sessions[i].finish_s);
+  }
+  EXPECT_EQ(off.stats.events, on.stats.events);
+  EXPECT_EQ(off.stats.flow_aborts, 0u);
+  EXPECT_EQ(on.stats.flow_aborts, 0u);
+  EXPECT_EQ(off.stats.makespan_s, on.stats.makespan_s);
+}
+
+TEST(FaultFleetTest, EverySchemeCompletesUnderHostileFaults) {
+  const sim::VideoWorkload& workload = test_workload();
+  const auto traces = trace::make_paper_traces(/*seed=*/11, 300.0);
+
+  for (const sim::SchemeKind scheme : kAllSchemes) {
+    fleet::FleetConfig config;
+    config.sessions = 4;
+    config.seed = 99;
+    config.scheme = scheme;
+    config.session.faults = hostile_faults();
+    const fleet::FleetResult a = fleet::run_fleet(workload, traces.second, config);
+    ASSERT_EQ(a.sessions.size(), config.sessions);
+    for (const auto& s : a.sessions)
+      EXPECT_EQ(s.result.segments.size(), workload.segment_count());
+    // Deterministic: a second run is bit-identical, session by session.
+    const fleet::FleetResult b = fleet::run_fleet(workload, traces.second, config);
+    for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+      expect_bit_identical(a.sessions[i].result, b.sessions[i].result);
+      EXPECT_EQ(a.sessions[i].finish_s, b.sessions[i].finish_s);
+    }
+    EXPECT_EQ(a.stats.flow_aborts, b.stats.flow_aborts);
+  }
+}
+
+TEST(FaultFleetTest, FleetCountersAreNonzeroUnderFaults) {
+  const sim::VideoWorkload& workload = test_workload();
+  const auto traces = trace::make_paper_traces(/*seed=*/11, 300.0);
+
+  obs::MetricsRegistry metrics;
+  obs::EventTracer tracer(1 << 16);
+  obs::Observer observer{&metrics, &tracer};
+  fleet::FleetConfig config;
+  config.sessions = 6;
+  config.seed = 99;
+  config.session.faults = hostile_faults();
+  // Tight deadline so in-flight flows actually hit it and abort.
+  config.session.recovery.timeout_s = 1.0;
+  config.observer = &observer;
+  const fleet::FleetResult result =
+      fleet::run_fleet(workload, traces.second, config);
+
+  EXPECT_GT(metrics.value("client.retries"), 0.0);
+  EXPECT_EQ(metrics.value("client.timeouts") + metrics.value("client.losses") +
+                metrics.value("client.outage_failures"),
+            metrics.value("client.retries"));
+  EXPECT_GT(result.stats.flow_aborts, 0u);
+  EXPECT_EQ(metrics.value("fleet.flow_aborts"),
+            static_cast<double>(result.stats.flow_aborts));
+  // The aggregate pools engine stats — flow_aborts included.
+  const fleet::FleetAggregate agg = fleet::aggregate_fleet({result, result}, 1.0);
+  EXPECT_EQ(agg.stats.flow_aborts, 2 * result.stats.flow_aborts);
+  for (const auto& s : result.sessions)
+    EXPECT_EQ(s.result.segments.size(), workload.segment_count());
+}
+
+TEST(FaultFleetTest, ReplicationsAreThreadCountInvariantWithFaultsOn) {
+  const sim::VideoWorkload& workload = test_workload();
+
+  fleet::FleetConfig config;
+  config.sessions = 4;
+  config.seed = 2024;
+  config.session.faults = hostile_faults();
+  fleet::FleetRunOptions options;
+  options.replications = 4;
+  options.link.duration_s = 300.0;
+
+  const auto run_observed = [&](std::size_t threads,
+                                obs::MetricsRegistry& metrics,
+                                obs::EventTracer& tracer) {
+    obs::Observer observer{&metrics, &tracer};
+    fleet::FleetConfig observed = config;
+    observed.observer = &observer;
+    fleet::FleetRunOptions opts = options;
+    opts.threads = threads;
+    return fleet::run_fleet_replications(workload, observed, opts);
+  };
+
+  obs::MetricsRegistry metrics_1t, metrics_4t;
+  obs::EventTracer tracer_1t(1 << 16), tracer_4t(1 << 16);
+  const std::vector<fleet::FleetResult> serial =
+      run_observed(1, metrics_1t, tracer_1t);
+  const std::vector<fleet::FleetResult> parallel =
+      run_observed(4, metrics_4t, tracer_4t);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t r = 0; r < serial.size(); ++r)
+    for (std::size_t i = 0; i < serial[r].sessions.size(); ++i)
+      expect_bit_identical(serial[r].sessions[i].result,
+                           parallel[r].sessions[i].result);
+
+  EXPECT_EQ(metrics_1t.to_json(), metrics_4t.to_json());
+  std::ostringstream jsonl_1t, jsonl_4t;
+  tracer_1t.export_jsonl(jsonl_1t);
+  tracer_4t.export_jsonl(jsonl_4t);
+  EXPECT_EQ(jsonl_1t.str(), jsonl_4t.str());
+  EXPECT_GT(metrics_1t.value("client.retries"), 0.0);
+}
+
+}  // namespace
+}  // namespace ps360

@@ -57,6 +57,13 @@ TEST(DeviceModelTest, NamesAreStable) {
   EXPECT_EQ(decode_profile_name(DecodeProfile::kPtile), "Ptile");
 }
 
+TEST(DeviceModelTest, InvalidKindsThrowInsteadOfIndexingOutOfBounds) {
+  EXPECT_THROW(device_name(static_cast<Device>(99)), std::invalid_argument);
+  EXPECT_THROW(decode_profile_name(static_cast<DecodeProfile>(99)),
+               std::invalid_argument);
+  EXPECT_THROW(device_model(static_cast<Device>(99)), std::invalid_argument);
+}
+
 TEST(DeviceModelTest, NegativeFpsRejected) {
   EXPECT_THROW(device_model(Device::kPixel3).render_power(-1.0),
                std::invalid_argument);

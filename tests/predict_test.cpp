@@ -172,6 +172,13 @@ TEST(HarmonicEstimatorTest, NonPositiveRateDoesNotPoisonState) {
 
 // ------------------------------------------------- Alternative predictors
 
+TEST(PredictorKindTest, InvalidKindsThrowInsteadOfIndexingOutOfBounds) {
+  EXPECT_THROW(predictor_name(static_cast<PredictorKind>(99)),
+               std::invalid_argument);
+  EXPECT_THROW(bandwidth_estimator_name(static_cast<BandwidthEstimatorKind>(99)),
+               std::invalid_argument);
+}
+
 TEST(PredictorKindTest, NamesAndHoldSemantics) {
   EXPECT_EQ(predictor_name(PredictorKind::kRidge), "ridge");
   const auto trace = linear_motion_trace(100.0, 20.0, 90.0, 0.0, 10.0);

@@ -120,6 +120,10 @@ struct PlannerFixture {
   SchemeEnv env;
 };
 
+TEST(SchemeTest, InvalidKindThrowsInsteadOfIndexingOutOfBounds) {
+  EXPECT_THROW(scheme_name(static_cast<SchemeKind>(99)), std::invalid_argument);
+}
+
 TEST(SchemeTest, NamesAndFactory) {
   EXPECT_EQ(scheme_name(SchemeKind::kOurs), "Ours");
   EXPECT_EQ(all_schemes().size(), kSchemeCount);

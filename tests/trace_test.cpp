@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 
 #include "trace/dataset.h"
 #include "trace/head_synth.h"
@@ -294,6 +295,98 @@ TEST(NetworkTraceTest, MeanMbpsMatchesIntegral) {
   EXPECT_NEAR(trace.mean_mbps(0.0, 2.0), 6.0, 1e-9);
   EXPECT_NEAR(trace.mean_mbps(0.0, 3.0), (4.0 + 8.0 + 2.0) / 3.0, 1e-9);
   EXPECT_THROW(trace.mean_mbps(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(NetworkTraceTest, BytesInConservesAcrossWrap) {
+  // Regression: the old wrap guard credited a fabricated 1e-6 s chunk at the
+  // pre-wrap sample's rate, so integrals straddling the trace end
+  // overcounted. Additivity must hold exactly through the boundary.
+  const NetworkTrace trace({{0.0, 4.0}, {1.0, 8.0}, {2.0, 2.0}});
+  ASSERT_DOUBLE_EQ(trace.end_time(), 3.0);
+  ASSERT_DOUBLE_EQ(trace.period_s(), 3.0);
+  ASSERT_DOUBLE_EQ(trace.bytes_per_period(), 1.75e6);
+  const double split[] = {2.5, 2.999999, 3.0, 3.000001, 3.5};
+  for (const double t1 : split) {
+    EXPECT_NEAR(trace.bytes_in(2.0, t1) + trace.bytes_in(t1, 4.0),
+                trace.bytes_in(2.0, 4.0), 1e-3)
+        << "split at " << t1;
+  }
+  // Any window of exactly one period delivers bytes_per_period, any phase.
+  for (const double t0 : {0.0, 0.7, 2.9, 3.0, 10.4}) {
+    EXPECT_NEAR(trace.bytes_in(t0, t0 + 3.0), 1.75e6, 1e-3) << "t0 " << t0;
+  }
+  // The wrapped second period is identical to the first.
+  EXPECT_NEAR(trace.bytes_in(3.0, 4.5), trace.bytes_in(0.0, 1.5), 1e-3);
+}
+
+TEST(NetworkTraceTest, TimeToDownloadRoundTripsAcrossWrap) {
+  const NetworkTrace trace({{0.0, 4.0}, {1.0, 8.0}, {2.0, 2.0}});
+  for (const double t0 : {0.3, 2.5, 2.9999, 3.0, 7.1}) {
+    for (const double span : {0.5, 1.7, 4.0, 9.3}) {
+      const double bytes = trace.bytes_in(t0, t0 + span);
+      EXPECT_NEAR(trace.time_to_download(bytes, t0), span, 1e-6)
+          << "t0 " << t0 << " span " << span;
+    }
+  }
+}
+
+TEST(NetworkTraceTest, TimeToDownloadFastForwardsLargeTransfers) {
+  // Regression: a multi-gigabyte request on a short trace used to crawl
+  // through millions of fabricated 1e-6 s chunks. With whole-period
+  // fast-forwarding it is exact and effectively instant: 2000 full periods
+  // of 1.75 MB take exactly 6000 s.
+  const NetworkTrace trace({{0.0, 4.0}, {1.0, 8.0}, {2.0, 2.0}});
+  EXPECT_NEAR(trace.time_to_download(2000.0 * 1.75e6, 0.0), 6000.0, 1e-6);
+  // Non-integral period count and nonzero phase still invert bytes_in.
+  const double bytes = trace.bytes_in(1.3, 1.3 + 4321.7);
+  EXPECT_NEAR(trace.time_to_download(bytes, 1.3), 4321.7, 1e-5);
+}
+
+TEST(NetworkTraceTest, LoadRejectsMalformedCsv) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path();
+
+  const auto write_file = [](const fs::path& p, const std::string& text) {
+    std::ofstream out(p);
+    out << text;
+  };
+
+  // Ragged row: line 3 has one column. The error names file and line.
+  const auto ragged = dir / "ps360_net_ragged.csv";
+  write_file(ragged, "t,mbps\n0,4\n1\n");
+  try {
+    load_network_trace(ragged);
+    FAIL() << "ragged CSV must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ps360_net_ragged.csv"), std::string::npos) << what;
+    EXPECT_NE(what.find("3"), std::string::npos) << what;
+  }
+  fs::remove(ragged);
+
+  // Missing column.
+  const auto missing = dir / "ps360_net_missing.csv";
+  write_file(missing, "t,rate\n0,4\n1,8\n");
+  try {
+    load_network_trace(missing);
+    FAIL() << "missing-column CSV must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("ps360_net_missing.csv"),
+              std::string::npos);
+  }
+  fs::remove(missing);
+
+  // Empty file / header-only file: no data rows.
+  const auto empty = dir / "ps360_net_empty.csv";
+  write_file(empty, "");
+  EXPECT_THROW(load_network_trace(empty), std::runtime_error);
+  write_file(empty, "t,mbps\n");
+  EXPECT_THROW(load_network_trace(empty), std::runtime_error);
+  fs::remove(empty);
+
+  // Nonexistent file still reports cleanly.
+  EXPECT_THROW(load_network_trace(dir / "ps360_net_nonexistent.csv"),
+               std::runtime_error);
 }
 
 TEST(HeadSynthTest, AttractorPopularityIsSkewed) {

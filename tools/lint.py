@@ -56,8 +56,14 @@ CONTRACT_MODULES = ["src/geometry", "src/power", "src/qoe", "src/fleet",
                     "src/obs"]
 
 # Deterministic subsystems (fleet engine, observability layer) must be
-# replayable: no wall-clock reads, no OS entropy.
+# replayable: no wall-clock reads, no OS entropy. Individual files elsewhere
+# that feed those subsystems (the seeded fault-injection layer) are held to
+# the same bar.
 DETERMINISTIC_DIRS = ["src/fleet", "src/obs"]
+DETERMINISTIC_FILES = [
+    "src/trace/fault_schedule.h",
+    "src/trace/fault_schedule.cpp",
+]
 FLEET_BANNED = [
     (re.compile(r"std::chrono::system_clock"), "std::chrono::system_clock"),
     (re.compile(r"std::chrono::steady_clock"), "std::chrono::steady_clock"),
@@ -132,34 +138,49 @@ def main() -> int:
                 )
 
     # 6. Deterministic subsystems: clock bans + leading contract comment.
+    def check_deterministic(path: pathlib.Path, scope: str) -> None:
+        raw = path.read_text(encoding="utf-8")
+        text = strip_comments(raw)
+        for pattern, label in FLEET_BANNED:
+            if pattern.search(text):
+                violations.append(
+                    f"{rel(path)}: uses {label}; {scope} is replayable "
+                    "— simulated time only, never wall-clock time"
+                )
+        if not raw.lstrip().startswith("//"):
+            violations.append(
+                f"{rel(path)}: sources in {scope} must open with a '//' "
+                "header comment stating the file's contract"
+            )
+
     for det_dir in DETERMINISTIC_DIRS:
         for path in sorted((repo / det_dir).glob("*")):
-            if path.suffix not in (".h", ".cpp"):
-                continue
-            raw = path.read_text(encoding="utf-8")
-            text = strip_comments(raw)
-            for pattern, label in FLEET_BANNED:
-                if pattern.search(text):
-                    violations.append(
-                        f"{rel(path)}: uses {label}; {det_dir} is replayable "
-                        "— simulated time only, never wall-clock time"
-                    )
-            if not raw.lstrip().startswith("//"):
-                violations.append(
-                    f"{rel(path)}: sources in {det_dir} must open with a '//' "
-                    "header comment stating the file's contract"
-                )
+            if path.suffix in (".h", ".cpp"):
+                check_deterministic(path, det_dir)
+    for det_file in DETERMINISTIC_FILES:
+        path = repo / det_file
+        if not path.is_file():
+            violations.append(f"{det_file}: deterministic source is missing")
+            continue
+        check_deterministic(path, det_file)
 
-    # 4. Contract checks in migrated modules.
-    for module in CONTRACT_MODULES:
-        root = repo / module
-        for path in sorted(root.glob("*.cpp")):
-            text = path.read_text(encoding="utf-8")
-            if "PS360_CHECK" not in text and "PS360_ASSERT" not in text:
-                violations.append(
-                    f"{rel(path)}: no PS360_CHECK/PS360_ASSERT; public API entries "
-                    "in migrated modules must validate their inputs (util/check.h)"
-                )
+    # 4. Contract checks in migrated modules (plus the deterministic
+    #    stand-alone sources, which carry the same validation bar).
+    contract_sources = [
+        path for module in CONTRACT_MODULES
+        for path in sorted((repo / module).glob("*.cpp"))
+    ]
+    contract_sources += [
+        repo / f for f in DETERMINISTIC_FILES
+        if f.endswith(".cpp") and (repo / f).is_file()
+    ]
+    for path in contract_sources:
+        text = path.read_text(encoding="utf-8")
+        if "PS360_CHECK" not in text and "PS360_ASSERT" not in text:
+            violations.append(
+                f"{rel(path)}: no PS360_CHECK/PS360_ASSERT; public API entries "
+                "in migrated modules must validate their inputs (util/check.h)"
+            )
 
     if violations:
         print(f"lint.py: {len(violations)} violation(s)")
