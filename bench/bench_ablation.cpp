@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   sim::WorkloadConfig wconfig;
   wconfig.seed = options.seed;
   const sim::VideoWorkload workload(trace::test_videos()[5], wconfig);
-  const auto traces = trace::make_paper_traces(options.seed, 700.0);
+  const auto traces = trace::make_paper_traces(options.seed, util::Seconds(700.0));
   const trace::NetworkTrace& net = traces.second;
 
   // --- MPC horizon -------------------------------------------------------

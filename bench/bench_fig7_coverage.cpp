@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
       // Coverage over all 48 dataset users, as the paper evaluates.
       for (std::size_t u = 0; u < config.n_users; ++u) {
         const auto viewport = workload.user_trace(u).viewport_at(
-            (static_cast<double>(k) + 0.5) * config.segment_seconds, config.fov_deg);
+            (static_cast<double>(k) + 0.5) * config.segment_seconds,
+            util::Degrees(config.fov_deg));
         total += 1.0;
         if (ptiles.covering(viewport, 0.8) != nullptr) covered += 1.0;
       }

@@ -113,14 +113,14 @@ void BM_SharedLinkChurn(benchmark::State& state) {
     fleet::SharedLink link(trace, flows);
     for (std::size_t s = 0; s < flows; ++s)
       link.start(s, 1e5 + 1e3 * static_cast<double>(s),
-                 s % 3 == 0 ? 2e5 : 0.0);
+                 util::BytesPerSec(s % 3 == 0 ? 2e5 : 0.0));
     std::size_t restarts_left = flows;  // one replacement flow per session
     while (const auto completion = link.next_completion()) {
       link.advance_to(completion->t);
       link.finish(completion->session);
       if (restarts_left > 0) {
         --restarts_left;
-        link.start(completion->session, 5e4, 0.0);
+        link.start(completion->session, 5e4, util::BytesPerSec(0.0));
       }
     }
     benchmark::DoNotOptimize(link.reallocations());

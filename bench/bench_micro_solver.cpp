@@ -50,7 +50,8 @@ void BM_MpcDecide(benchmark::State& state) {
                                        power::device_model(power::Device::kPixel3),
                                        core::MpcObjective::kMinEnergyQoEConstrained);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(controller.decide(horizon, 5e5, 2.5, 50.0));
+    benchmark::DoNotOptimize(controller.decide(horizon, util::BytesPerSec(5e5), util::Seconds(2.5),
+                                         50.0));
   }
 }
 BENCHMARK(BM_MpcDecide)->Arg(3)->Arg(5)->Arg(10)->Arg(20);
@@ -65,7 +66,8 @@ void BM_MpcDecideColdScratch(benchmark::State& state) {
   for (auto _ : state) {
     const core::MpcController controller(config, device,
                                          core::MpcObjective::kMinEnergyQoEConstrained);
-    benchmark::DoNotOptimize(controller.decide(horizon, 5e5, 2.5, 50.0));
+    benchmark::DoNotOptimize(controller.decide(horizon, util::BytesPerSec(5e5), util::Seconds(2.5),
+                                         50.0));
   }
 }
 BENCHMARK(BM_MpcDecideColdScratch)->Arg(10)->Arg(20);
@@ -85,7 +87,8 @@ void BM_MpcDecideObserved(benchmark::State& state) {
   obs::Observer observer{&metrics, &tracer};
   controller.set_observer(&observer, /*session=*/0);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(controller.decide(horizon, 5e5, 2.5, 50.0));
+    benchmark::DoNotOptimize(controller.decide(horizon, util::BytesPerSec(5e5), util::Seconds(2.5),
+                                         50.0));
   }
 }
 BENCHMARK(BM_MpcDecideObserved)->Arg(10)->Arg(20);
@@ -97,7 +100,8 @@ void BM_MpcDecideQoeMax(benchmark::State& state) {
                                        power::device_model(power::Device::kPixel3),
                                        core::MpcObjective::kMaxQoE);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(controller.decide(horizon, 5e5, 2.5, 50.0));
+    benchmark::DoNotOptimize(controller.decide(horizon, util::BytesPerSec(5e5), util::Seconds(2.5),
+                                         50.0));
   }
 }
 BENCHMARK(BM_MpcDecideQoeMax)->Arg(5)->Arg(10);

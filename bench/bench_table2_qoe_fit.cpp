@@ -44,9 +44,9 @@ int main(int argc, char** argv) {
                            "Qo (SI=70, TI=50)"});
   for (double b : {0.5, 1.0, 2.0, 4.0, 6.0, 9.0}) {
     surface.add_row({util::strfmt("%.1f", b),
-                     util::strfmt("%.1f", model.qo(30.0, 10.0, b)),
-                     util::strfmt("%.1f", model.qo(50.0, 25.0, b)),
-                     util::strfmt("%.1f", model.qo(70.0, 50.0, b))});
+                     util::strfmt("%.1f", model.qo(30.0, 10.0, util::Mbps(b))),
+                     util::strfmt("%.1f", model.qo(50.0, 25.0, util::Mbps(b))),
+                     util::strfmt("%.1f", model.qo(70.0, 50.0, util::Mbps(b)))});
   }
   std::printf("\nFig. 4(b) — fitted Qo surface slices\n%s", surface.render().c_str());
   return 0;

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
     files += traces.size();
   }
 
-  const auto [trace1, trace2] = trace::make_paper_traces(7, 700.0);
+  const auto [trace1, trace2] = trace::make_paper_traces(7, util::Seconds(700.0));
   trace::save_network_trace(out / "network_trace1.csv", trace1);
   trace::save_network_trace(out / "network_trace2.csv", trace2);
   files += 2;

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
               video.id, video.name.c_str());
 
   sim::VideoWorkload workload(video, sim::WorkloadConfig{});
-  const auto traces = trace::make_paper_traces(7, 700.0);
+  const auto traces = trace::make_paper_traces(7, util::Seconds(700.0));
 
   const power::BatteryModel battery;  // 3000 mAh at 3.85 V nominal
 

@@ -30,7 +30,7 @@ int main() {
               workload.test_user_count());
 
   // 3. Network trace 2 of the paper: LTE, 3.9 Mbps average.
-  const auto [trace1, trace2] = trace::make_paper_traces(/*seed=*/7, 700.0);
+  const auto [trace1, trace2] = trace::make_paper_traces(/*seed=*/7, util::Seconds(700.0));
 
   // 4. One session: test user 0, the paper's algorithm, default Pixel 3.
   sim::SessionConfig config;

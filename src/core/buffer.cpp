@@ -7,38 +7,43 @@
 
 namespace ps360::core {
 
-BufferModel::BufferModel(double segment_seconds, double threshold_s, double quantum_s)
-    : segment_seconds_(segment_seconds),
-      threshold_s_(threshold_s),
-      quantum_s_(quantum_s) {
-  PS360_CHECK(segment_seconds > 0.0);
-  PS360_CHECK(threshold_s > 0.0);
-  PS360_CHECK(quantum_s > 0.0 && quantum_s <= threshold_s);
+BufferModel::BufferModel(util::Seconds segment_seconds, util::Seconds threshold_s,
+                         util::Seconds quantum_s)
+    : segment_seconds_(segment_seconds.value()),
+      threshold_s_(threshold_s.value()),
+      quantum_s_(quantum_s.value()) {
+  PS360_CHECK(segment_seconds_ > 0.0);
+  PS360_CHECK(threshold_s_ > 0.0);
+  PS360_CHECK(quantum_s_ > 0.0 && quantum_s_ <= threshold_s_);
 }
 
-BufferStep BufferModel::advance(double buffer_s, double download_s) const {
-  PS360_CHECK(buffer_s >= 0.0);
-  PS360_CHECK(download_s >= 0.0);
+BufferStep BufferModel::advance(util::Seconds buffer_s,
+                                util::Seconds download_s) const {
+  const double buffer = buffer_s.value();
+  const double download = download_s.value();
+  PS360_CHECK(buffer >= 0.0);
+  PS360_CHECK(download >= 0.0);
   BufferStep step;
-  step.wait_s = std::max(buffer_s - threshold_s_, 0.0);
-  const double at_request = buffer_s - step.wait_s;
-  step.stall_s = std::max(download_s - at_request, 0.0);
-  step.next_buffer_s = std::max(at_request - download_s, 0.0) + segment_seconds_;
+  step.wait_s = std::max(buffer - threshold_s_, 0.0);
+  const double at_request = buffer - step.wait_s;
+  step.stall_s = std::max(download - at_request, 0.0);
+  step.next_buffer_s = std::max(at_request - download, 0.0) + segment_seconds_;
   return step;
 }
 
-BufferStep BufferModel::advance_quantized(double buffer_s, double download_s) const {
+BufferStep BufferModel::advance_quantized(util::Seconds buffer_s,
+                                          util::Seconds download_s) const {
   BufferStep step = advance(buffer_s, download_s);
-  step.next_buffer_s = quantize(step.next_buffer_s);
+  step.next_buffer_s = quantize(util::Seconds(step.next_buffer_s));
   return step;
 }
 
-double BufferModel::quantize(double buffer_s) const {
-  const double clamped = std::clamp(buffer_s, 0.0, cap_s());
+double BufferModel::quantize(util::Seconds buffer_s) const {
+  const double clamped = std::clamp(buffer_s.value(), 0.0, cap_s());
   return std::round(clamped / quantum_s_) * quantum_s_;
 }
 
-int BufferModel::bucket_of(double buffer_s) const {
+int BufferModel::bucket_of(util::Seconds buffer_s) const {
   return static_cast<int>(std::lround(quantize(buffer_s) / quantum_s_));
 }
 

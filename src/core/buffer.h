@@ -12,6 +12,8 @@
 
 #include <cstddef>
 
+#include "util/units.h"
+
 namespace ps360::core {
 
 struct BufferStep {
@@ -23,7 +25,8 @@ struct BufferStep {
 class BufferModel {
  public:
   // segment_seconds = L, threshold_s = β, quantum_s = the DP discretisation.
-  BufferModel(double segment_seconds, double threshold_s, double quantum_s);
+  BufferModel(util::Seconds segment_seconds, util::Seconds threshold_s,
+              util::Seconds quantum_s);
 
   double segment_seconds() const { return segment_seconds_; }
   double threshold_s() const { return threshold_s_; }
@@ -32,16 +35,17 @@ class BufferModel {
 
   // One Eq. 6 step from buffer level `buffer_s` with a download of
   // `download_s` seconds (exact arithmetic, used by the client).
-  BufferStep advance(double buffer_s, double download_s) const;
+  BufferStep advance(util::Seconds buffer_s, util::Seconds download_s) const;
 
   // The same step with the resulting buffer quantised (used by the DP).
-  BufferStep advance_quantized(double buffer_s, double download_s) const;
+  BufferStep advance_quantized(util::Seconds buffer_s,
+                               util::Seconds download_s) const;
 
   // Snap a buffer level to the DP grid (clamped to [0, cap]).
-  double quantize(double buffer_s) const;
+  double quantize(util::Seconds buffer_s) const;
 
   // Grid index of a (quantised) buffer level; number of grid states.
-  int bucket_of(double buffer_s) const;
+  int bucket_of(util::Seconds buffer_s) const;
   std::size_t bucket_count() const;
 
   // Buffer level (seconds) of a grid index — the inverse of bucket_of on the

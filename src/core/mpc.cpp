@@ -21,8 +21,9 @@ constexpr double kStallPenaltyMjPerS = 1e7;
 
 // Eq. 6 buffer dynamics on the paper's 500 ms DP grid.
 BufferModel buffer_model_of(const MpcConfig& config) {
-  return BufferModel(config.segment_seconds, config.buffer_threshold_s,
-                     config.buffer_quantum_s);
+  return BufferModel(util::Seconds(config.segment_seconds),
+                     util::Seconds(config.buffer_threshold_s),
+                     util::Seconds(config.buffer_quantum_s));
 }
 
 // resize() that tracks reallocations for the zero-allocation contract.
@@ -44,8 +45,10 @@ std::size_t MpcScratch::capacity_bytes() const {
 }
 
 const QualityOption& reference_option(const SegmentChoices& choices,
-                                      double bandwidth_bytes_per_s,
-                                      double budget_seconds) {
+                                      util::BytesPerSec bandwidth,
+                                      util::Seconds budget) {
+  const double bandwidth_bytes_per_s = bandwidth.value();
+  const double budget_seconds = budget.value();
   PS360_CHECK(!choices.options.empty());
   PS360_CHECK(bandwidth_bytes_per_s > 0.0);
   PS360_CHECK(budget_seconds > 0.0);
@@ -93,7 +96,8 @@ void MpcController::set_observer(obs::Observer* observer, std::uint32_t session)
 }
 
 power::SegmentEnergy MpcController::option_energy(const QualityOption& option,
-                                                  double bandwidth_bytes_per_s) const {
+                                                  util::BytesPerSec bandwidth) const {
+  const double bandwidth_bytes_per_s = bandwidth.value();
   PS360_CHECK(bandwidth_bytes_per_s > 0.0);
   return power::segment_energy(
       *device_, option.profile,
@@ -102,11 +106,11 @@ power::SegmentEnergy MpcController::option_energy(const QualityOption& option,
 }
 
 void MpcController::reference_qualities(const std::vector<SegmentChoices>& horizon,
-                                        double bandwidth_bytes_per_s,
+                                        util::BytesPerSec bandwidth,
                                         std::vector<double>& q_ref) const {
   for (std::size_t i = 0; i < horizon.size(); ++i) {
-    q_ref[i] = reference_option(horizon[i], bandwidth_bytes_per_s,
-                                config_.segment_seconds)
+    q_ref[i] = reference_option(horizon[i], bandwidth,
+                                util::Seconds(config_.segment_seconds))
                    .qo;
   }
 }
@@ -135,8 +139,10 @@ void MpcController::reference_qualities(const std::vector<SegmentChoices>& horiz
 // better cost. Such ties are structural, not exotic: with variation weight
 // 1, every no-stall option above the previous quality scores identically.
 MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
-                                  double bandwidth_bytes_per_s, double buffer_s,
-                                  double prev_qo) const {
+                                  util::BytesPerSec bandwidth,
+                                  util::Seconds buffer, double prev_qo) const {
+  const double bandwidth_bytes_per_s = bandwidth.value();
+  const double buffer_s = buffer.value();
   PS360_CHECK(!horizon.empty());
   PS360_CHECK(bandwidth_bytes_per_s > 0.0);
   PS360_CHECK(buffer_s >= 0.0);
@@ -164,7 +170,7 @@ MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
   grow(scratch.at_request_s, buckets, scratch.grow_events);
 
   // ε-constraint reference quality per segment (energy mode).
-  if (energy_mode) reference_qualities(horizon, bandwidth_bytes_per_s, scratch.q_ref);
+  if (energy_mode) reference_qualities(horizon, bandwidth, scratch.q_ref);
 
   // Per-(segment, option) invariants: download time, energy cost / raw Qo,
   // and constraint-(8c) feasibility — none of which depend on the DP state,
@@ -178,7 +184,7 @@ MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
       scratch.download_s[flat] = option.bytes / bandwidth_bytes_per_s;
       if (energy_mode) {
         scratch.step_cost[flat] =
-            option_energy(option, bandwidth_bytes_per_s).total_mj();
+            option_energy(option, bandwidth).total_mj();
         scratch.eps_ok[flat] =
             option.qo >= (1.0 - config_.epsilon) * scratch.q_ref[i] ? 1 : 0;
       } else {
@@ -220,8 +226,8 @@ MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
   }
 
   const std::size_t table_size = buckets * prev_stride;
-  const std::size_t start = static_cast<std::size_t>(buffers.bucket_of(buffer_s)) *
-                            prev_stride;
+  const std::size_t start =
+      static_cast<std::size_t>(buffers.bucket_of(buffer)) * prev_stride;
 
   // strict = enforce no-stall + ε-constraint (energy mode); relaxed = allow
   // everything, penalise stalls — used as fallback and as the kMaxQoE mode.
@@ -361,14 +367,16 @@ MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
 }
 
 MpcDecision MpcController::decide_exhaustive(const std::vector<SegmentChoices>& horizon,
-                                             double bandwidth_bytes_per_s,
-                                             double buffer_s, double prev_qo) const {
+                                             util::BytesPerSec bandwidth,
+                                             util::Seconds buffer_level,
+                                             double prev_qo) const {
+  const double bandwidth_bytes_per_s = bandwidth.value();
   PS360_CHECK(!horizon.empty());
   PS360_CHECK(bandwidth_bytes_per_s > 0.0);
   const bool energy_mode = objective_ == MpcObjective::kMinEnergyQoEConstrained;
 
   std::vector<double> q_ref(horizon.size(), 0.0);
-  if (energy_mode) reference_qualities(horizon, bandwidth_bytes_per_s, q_ref);
+  if (energy_mode) reference_qualities(horizon, bandwidth, q_ref);
 
   struct Best {
     double cost = kInf;
@@ -396,15 +404,15 @@ MpcDecision MpcController::decide_exhaustive(const std::vector<SegmentChoices>& 
       }
       for (std::size_t oi = 0; oi < horizon[depth].options.size(); ++oi) {
         const auto& option = horizon[depth].options[oi];
-        const BufferStep step =
-            buffers.advance_quantized(buffer, option.bytes / bandwidth_bytes_per_s);
+        const BufferStep step = buffers.advance_quantized(
+            util::Seconds(buffer), util::Seconds(option.bytes / bandwidth_bytes_per_s));
         if (strict && energy_mode) {
           if (step.stall_s > 0.0) continue;
           if (option.qo < (1.0 - config_.epsilon) * q_ref[depth]) continue;
         }
         double step_cost;
         if (energy_mode) {
-          step_cost = option_energy(option, bandwidth_bytes_per_s).total_mj();
+          step_cost = option_energy(option, bandwidth).total_mj();
           if (!strict) step_cost += kStallPenaltyMjPerS * step.stall_s;
         } else {
           const double variation =
@@ -419,7 +427,7 @@ MpcDecision MpcController::decide_exhaustive(const std::vector<SegmentChoices>& 
       }
     };
     // Match decide(): the initial buffer is quantized before the first step.
-    recurse(recurse, 0, buffers.quantize(buffer_s), prev_qo, 0.0, false);
+    recurse(recurse, 0, buffers.quantize(buffer_level), prev_qo, 0.0, false);
     return best;
   };
 

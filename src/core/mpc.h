@@ -31,6 +31,7 @@
 #include "power/device_models.h"
 #include "power/energy.h"
 #include "qoe/qoe_model.h"
+#include "util/units.h"
 
 namespace ps360::core {
 
@@ -122,19 +123,19 @@ class MpcController {
 
   // Energy of one option under the bandwidth estimate (Eq. 1).
   power::SegmentEnergy option_energy(const QualityOption& option,
-                                     double bandwidth_bytes_per_s) const;
+                                     util::BytesPerSec bandwidth) const;
 
   // Solve the horizon. horizon[0] is the segment about to be requested;
   // buffer_s is B_k; prev_qo is Qo_{k-1} for the variation term.
   MpcDecision decide(const std::vector<SegmentChoices>& horizon,
-                     double bandwidth_bytes_per_s, double buffer_s,
+                     util::BytesPerSec bandwidth, util::Seconds buffer,
                      double prev_qo) const;
 
   // Exhaustive-search reference implementation (exponential in H); used by
   // tests to validate the DP. Semantics identical to decide().
   MpcDecision decide_exhaustive(const std::vector<SegmentChoices>& horizon,
-                                double bandwidth_bytes_per_s, double buffer_s,
-                                double prev_qo) const;
+                                util::BytesPerSec bandwidth,
+                                util::Seconds buffer, double prev_qo) const;
 
   // Scratch-arena observability (see MpcScratch): total reserved bytes and
   // the number of reallocation events so far. After a warm-up decide() call,
@@ -154,7 +155,7 @@ class MpcController {
   // Shared by decide() and decide_exhaustive() so the ε-constraint anchor
   // cannot drift between the two implementations.
   void reference_qualities(const std::vector<SegmentChoices>& horizon,
-                           double bandwidth_bytes_per_s,
+                           util::BytesPerSec bandwidth,
                            std::vector<double>& q_ref) const;
 
   MpcConfig config_;
@@ -180,7 +181,7 @@ class MpcController {
 // little every segment until it stalls). Falls back to the cheapest option
 // if none qualifies.
 const QualityOption& reference_option(const SegmentChoices& choices,
-                                      double bandwidth_bytes_per_s,
-                                      double budget_seconds);
+                                      util::BytesPerSec bandwidth,
+                                      util::Seconds budget);
 
 }  // namespace ps360::core

@@ -9,6 +9,7 @@
 #include "sim/client.h"
 #include "trace/fault_schedule.h"
 #include "util/check.h"
+#include "util/units.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -143,7 +144,7 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
       // offsetting by start_s makes its trace timestamps engine-time.
       sessions[i].client->attach_observer(config.observer,
                                           static_cast<std::uint32_t>(i),
-                                          sessions[i].start_s);
+                                          util::Seconds(sessions[i].start_s));
     }
   }
   loop.schedule(link_trace.next_rate_change_after(0.0), kLinkSession,
@@ -241,7 +242,8 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
         }
         rt.flow_started_at = event.t;
         rt.in_flight = true;
-        link.start(event.session, rt.pending->plan.option.bytes, cap_bytes_per_s);
+        link.start(event.session, rt.pending->plan.option.bytes,
+                   util::BytesPerSec(cap_bytes_per_s));
         obs::trace(observer, static_cast<std::uint32_t>(event.session),
                    obs::TraceEventKind::kDownloadStart,
                    static_cast<std::int64_t>(rt.pending->segment),
@@ -254,7 +256,8 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
         if (!rt.pending.has_value() || event.generation != rt.attempt_seq)
           break;  // attempt already failed (deadline beat the spike)
         rt.in_flight = true;
-        link.start(event.session, rt.pending->plan.option.bytes, cap_bytes_per_s);
+        link.start(event.session, rt.pending->plan.option.bytes,
+                   util::BytesPerSec(cap_bytes_per_s));
         obs::trace(observer, static_cast<std::uint32_t>(event.session),
                    obs::TraceEventKind::kDownloadStart,
                    static_cast<std::int64_t>(rt.pending->segment),
@@ -275,7 +278,8 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
         const double elapsed = event.t - rt.flow_started_at;
         rt.attempt_elapsed += elapsed;
         const sim::FailureAction action =
-            rt.client->report_download_failure(elapsed, rt.fail_reason);
+            rt.client->report_download_failure(util::Seconds(elapsed),
+                                               rt.fail_reason);
         if (action.degrade) rt.pending = rt.client->replan_degraded();
         loop.schedule(event.t + action.backoff_s, event.session,
                       EventKind::kFlowStart);
@@ -294,9 +298,11 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
         rt.in_flight = false;
         ++rt.attempt_seq;  // invalidate this attempt's deadline
         const double download_s = event.t - rt.flow_started_at;
-        const double stall = rt.client->complete_download(download_s);
-        rt.accountant->record(*rt.pending, rt.attempt_elapsed + download_s,
-                              stall);
+        const double stall =
+            rt.client->complete_download(util::Seconds(download_s));
+        rt.accountant->record(
+            *rt.pending, util::Seconds(rt.attempt_elapsed + download_s),
+            util::Seconds(stall));
         rt.attempt_elapsed = 0.0;
         rt.pending.reset();
         if (rt.client->finished()) {

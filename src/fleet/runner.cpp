@@ -28,6 +28,8 @@ std::vector<FleetResult> run_fleet_replications(const sim::VideoWorkload& worklo
   // One slot per replication keeps the output order deterministic no matter
   // how the workers interleave (same pattern as run_evaluation_grid).
   std::vector<FleetResult> results(n_reps);
+  // Work queue head: workers claim replication indices with fetch_add;
+  // each index is processed exactly once, so slot writes never race.
   std::atomic<std::size_t> next_rep{0};
 
   // A shared Observer cannot be fed from concurrent workers, and merging as

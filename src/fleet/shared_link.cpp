@@ -39,7 +39,8 @@ double SharedLink::cap_key(std::size_t session) const {
   return cap > 0.0 ? cap : std::numeric_limits<double>::infinity();
 }
 
-void SharedLink::start(std::size_t session, double bytes, double cap_bytes_per_s) {
+void SharedLink::start(std::size_t session, double bytes, util::BytesPerSec cap) {
+  const double cap_bytes_per_s = cap.value();
   PS360_CHECK(session < flows_.size());
   PS360_CHECK_MSG(!flows_[session].active, "session already has a flow in flight");
   PS360_CHECK(bytes > 0.0);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "trace/network_trace.h"
+#include "util/units.h"
 
 namespace ps360::fleet {
 
@@ -54,8 +55,8 @@ class SharedLink {
   double next_capacity_change() const;
 
   // Register a flow of `bytes` (> 0) for `session` starting at now().
-  // `cap_bytes_per_s` <= 0 means uncapped. One flow per session at a time.
-  void start(std::size_t session, double bytes, double cap_bytes_per_s);
+  // A `cap` <= 0 means uncapped. One flow per session at a time.
+  void start(std::size_t session, double bytes, util::BytesPerSec cap);
 
   // Integrate every in-flight flow forward to t (>= now()) at the current
   // rates, then re-waterfill from C(t). The caller must not step across a

@@ -5,13 +5,14 @@
 namespace ps360::predict {
 
 HarmonicMeanEstimator::HarmonicMeanEstimator(std::size_t window,
-                                             double initial_bytes_per_s)
-    : window_(window), initial_(initial_bytes_per_s) {
+                                             util::BytesPerSec initial_rate)
+    : window_(window), initial_(initial_rate.value()) {
   PS360_CHECK(window >= 1);
-  PS360_CHECK(initial_bytes_per_s > 0.0);
+  PS360_CHECK(initial_ > 0.0);
 }
 
-void HarmonicMeanEstimator::observe(double bytes_per_s) {
+void HarmonicMeanEstimator::observe(util::BytesPerSec rate) {
+  const double bytes_per_s = rate.value();
   // A zero (or negative) rate would poison the harmonic mean: 1/rate is
   // infinite or sign-flipped, and the estimate never recovers within the
   // window. Reject loudly instead.

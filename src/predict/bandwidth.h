@@ -8,17 +8,20 @@
 #include <cstddef>
 #include <deque>
 
+#include "util/units.h"
+
 namespace ps360::predict {
 
 class HarmonicMeanEstimator {
  public:
-  // `window` past observations contribute; `initial_bytes_per_s` is
-  // returned until the first observation arrives.
+  // `window` past observations contribute; `initial_rate` is returned
+  // until the first observation arrives.
   explicit HarmonicMeanEstimator(std::size_t window = 5,
-                                 double initial_bytes_per_s = 500e3);
+                                 util::BytesPerSec initial_rate =
+                                     util::BytesPerSec(500e3));
 
-  // Record an observed download rate (bytes/second, > 0).
-  void observe(double bytes_per_s);
+  // Record an observed download rate (> 0).
+  void observe(util::BytesPerSec rate);
 
   // Current estimate (bytes/second).
   double estimate() const;

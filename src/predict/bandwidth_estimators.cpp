@@ -20,9 +20,9 @@ namespace {
 class LastEstimator final : public BandwidthEstimator {
  public:
   explicit LastEstimator(double initial) : value_(initial) {}
-  void observe(double bytes_per_s) override {
-    PS360_CHECK(bytes_per_s > 0.0);
-    value_ = bytes_per_s;
+  void observe(util::BytesPerSec rate) override {
+    PS360_CHECK(rate.value() > 0.0);
+    value_ = rate.value();
   }
   double estimate() const override { return value_; }
 
@@ -36,9 +36,9 @@ class MeanEstimator final : public BandwidthEstimator {
       : window_(window), initial_(initial) {
     PS360_CHECK(window >= 1);
   }
-  void observe(double bytes_per_s) override {
-    PS360_CHECK(bytes_per_s > 0.0);
-    history_.push_back(bytes_per_s);
+  void observe(util::BytesPerSec rate) override {
+    PS360_CHECK(rate.value() > 0.0);
+    history_.push_back(rate.value());
     if (history_.size() > window_) history_.pop_front();
   }
   double estimate() const override {
@@ -59,7 +59,8 @@ class EwmaEstimator final : public BandwidthEstimator {
   EwmaEstimator(double alpha, double initial) : alpha_(alpha), value_(initial) {
     PS360_CHECK(alpha > 0.0 && alpha <= 1.0);
   }
-  void observe(double bytes_per_s) override {
+  void observe(util::BytesPerSec rate) override {
+    const double bytes_per_s = rate.value();
     PS360_CHECK(bytes_per_s > 0.0);
     value_ = seeded_ ? alpha_ * bytes_per_s + (1.0 - alpha_) * value_ : bytes_per_s;
     seeded_ = true;
@@ -74,8 +75,9 @@ class EwmaEstimator final : public BandwidthEstimator {
 
 class HarmonicEstimator final : public BandwidthEstimator {
  public:
-  HarmonicEstimator(std::size_t window, double initial) : inner_(window, initial) {}
-  void observe(double bytes_per_s) override { inner_.observe(bytes_per_s); }
+  HarmonicEstimator(std::size_t window, double initial)
+      : inner_(window, util::BytesPerSec(initial)) {}
+  void observe(util::BytesPerSec rate) override { inner_.observe(rate); }
   double estimate() const override { return inner_.estimate(); }
 
  private:
@@ -85,8 +87,9 @@ class HarmonicEstimator final : public BandwidthEstimator {
 }  // namespace
 
 std::unique_ptr<BandwidthEstimator> make_bandwidth_estimator(
-    BandwidthEstimatorKind kind, std::size_t window, double initial_bytes_per_s,
-    double ewma_alpha) {
+    BandwidthEstimatorKind kind, std::size_t window,
+    util::BytesPerSec initial_rate, double ewma_alpha) {
+  const double initial_bytes_per_s = initial_rate.value();
   PS360_CHECK(initial_bytes_per_s > 0.0);
   switch (kind) {
     case BandwidthEstimatorKind::kLast:

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "predict/bandwidth.h"
+#include "util/units.h"
 
 namespace ps360::predict {
 
@@ -29,8 +30,8 @@ const std::string& bandwidth_estimator_name(BandwidthEstimatorKind kind);
 class BandwidthEstimator {
  public:
   virtual ~BandwidthEstimator() = default;
-  // Record an observed download rate (bytes/second, > 0).
-  virtual void observe(double bytes_per_s) = 0;
+  // Record an observed download rate (> 0).
+  virtual void observe(util::BytesPerSec rate) = 0;
   // Current estimate (bytes/second, > 0).
   virtual double estimate() const = 0;
 };
@@ -38,6 +39,7 @@ class BandwidthEstimator {
 // Factory. `window` applies to kMean/kHarmonic; `ewma_alpha` to kEwma.
 std::unique_ptr<BandwidthEstimator> make_bandwidth_estimator(
     BandwidthEstimatorKind kind, std::size_t window = 5,
-    double initial_bytes_per_s = 500e3, double ewma_alpha = 0.4);
+    util::BytesPerSec initial_rate = util::BytesPerSec(500e3),
+    double ewma_alpha = 0.4);
 
 }  // namespace ps360::predict

@@ -56,8 +56,10 @@ geometry::EquirectPoint predict_with(PredictorKind kind, const trace::HeadTrace&
 }
 
 double mean_prediction_error(PredictorKind kind, const trace::HeadTrace& trace,
-                             double horizon_s, double stride_s,
+                             util::Seconds horizon, util::Seconds stride,
                              ViewportPredictorConfig base) {
+  const double horizon_s = horizon.value();
+  const double stride_s = stride.value();
   PS360_CHECK(horizon_s > 0.0);
   PS360_CHECK(stride_s > 0.0);
   double total = 0.0;

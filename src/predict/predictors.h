@@ -19,6 +19,7 @@
 #pragma once
 
 #include "predict/viewport_predictor.h"
+#include "util/units.h"
 
 namespace ps360::predict {
 
@@ -42,7 +43,8 @@ geometry::EquirectPoint predict_with(PredictorKind kind, const trace::HeadTrace&
 // fixed horizon, sampled every `stride_s` seconds. Used by tests and the
 // ablation bench.
 double mean_prediction_error(PredictorKind kind, const trace::HeadTrace& trace,
-                             double horizon_s, double stride_s = 1.0,
+                             util::Seconds horizon,
+                             util::Seconds stride = util::Seconds(1.0),
                              ViewportPredictorConfig base = {});
 
 }  // namespace ps360::predict

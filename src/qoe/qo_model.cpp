@@ -12,14 +12,16 @@ QoModel::QoModel(QoParams params, double bitrate_scale)
   PS360_CHECK(bitrate_scale > 0.0);
 }
 
-double QoModel::qo(double si, double ti, double b_mbps) const {
+double QoModel::qo(double si, double ti, util::Mbps bitrate) const {
+  const double b_mbps = bitrate.value();
   PS360_CHECK(b_mbps >= 0.0);
   const double z = params_.c1 + params_.c2 * si + params_.c3 * ti +
                    params_.c4 * bitrate_scale_ * b_mbps;
   return 100.0 / (1.0 + std::exp(-z));
 }
 
-double QoModel::alpha(double s_fov_deg_per_s, double ti, double gain) {
+double QoModel::alpha(util::DegPerSec s_fov, double ti, double gain) {
+  const double s_fov_deg_per_s = s_fov.value();
   PS360_CHECK(s_fov_deg_per_s >= 0.0);
   PS360_CHECK(ti > 0.0);
   PS360_CHECK(gain > 0.0);
@@ -37,9 +39,9 @@ double QoModel::frame_rate_factor(double alpha, double frame_ratio) {
   return std::clamp(num / den, 0.0, 1.0);
 }
 
-double QoModel::qo_with_frame_rate(double si, double ti, double b_mbps,
-                                   double s_fov_deg_per_s, double frame_ratio) const {
-  return qo(si, ti, b_mbps) * frame_rate_factor(alpha(s_fov_deg_per_s, ti), frame_ratio);
+double QoModel::qo_with_frame_rate(double si, double ti, util::Mbps bitrate,
+                                   util::DegPerSec s_fov, double frame_ratio) const {
+  return qo(si, ti, bitrate) * frame_rate_factor(alpha(s_fov, ti), frame_ratio);
 }
 
 }  // namespace ps360::qoe

@@ -17,6 +17,8 @@
 // rate matters to perception.
 #pragma once
 
+#include "util/units.h"
+
 namespace ps360::qoe {
 
 struct QoParams {
@@ -35,8 +37,8 @@ class QoModel {
   const QoParams& params() const { return params_; }
   double bitrate_scale() const { return bitrate_scale_; }
 
-  // Eq. 3. b_mbps >= 0; result in (0, 100).
-  double qo(double si, double ti, double b_mbps) const;
+  // Eq. 3. bitrate >= 0; result in (0, 100).
+  double qo(double si, double ti, util::Mbps bitrate) const;
 
   // Eq. 4 frame-rate sensitivity: alpha = gain * s_fov / ti (clamped away
   // from 0). The gain converts between the switching-speed and TI units —
@@ -46,7 +48,7 @@ class QoModel {
   // content tolerates a 10-20% frame-rate reduction within the ε = 5%
   // budget, matching the paper's reported headroom.
   static constexpr double kDefaultAlphaGain = 6.0;
-  static double alpha(double s_fov_deg_per_s, double ti,
+  static double alpha(util::DegPerSec s_fov, double ti,
                       double gain = kDefaultAlphaGain);
 
   // The frame-rate quality factor g(f) in (0, 1]; frame_ratio = f / fm.
@@ -55,8 +57,8 @@ class QoModel {
   static double frame_rate_factor(double alpha, double frame_ratio);
 
   // Qo adjusted for a reduced frame rate.
-  double qo_with_frame_rate(double si, double ti, double b_mbps,
-                            double s_fov_deg_per_s, double frame_ratio) const;
+  double qo_with_frame_rate(double si, double ti, util::Mbps bitrate,
+                            util::DegPerSec s_fov, double frame_ratio) const;
 
  private:
   QoParams params_;

@@ -41,7 +41,8 @@ std::vector<VmafSample> synthesize_vmaf_dataset(
         s.ti = features.ti;
         s.b = b;
         const double noise = clip_offset + rng.normal(0.0, config.score_noise_sigma * 0.4);
-        s.vmaf = std::clamp(truth.qo(s.si, s.ti, s.b) + noise, 0.0, 100.0);
+        s.vmaf = std::clamp(truth.qo(s.si, s.ti, util::Mbps(s.b)) + noise,
+                            0.0, 100.0);
         samples.push_back(s);
       }
     }

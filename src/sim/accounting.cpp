@@ -1,3 +1,6 @@
+// Per-session QoE/energy bookkeeping (Eq. 2 terms + Table I energy).
+// Deterministic: every figure is a pure function of the recorded requests,
+// so replaying the same session byte-for-byte reproduces the result.
 #include "sim/accounting.h"
 
 #include <algorithm>
@@ -95,8 +98,10 @@ void SessionAccountant::attach_observer(obs::Observer* observer,
   scheme_->attach_observer(observer, session);
 }
 
-void SessionAccountant::record(const ClientRequest& request, double download_s,
-                               double stall_s) {
+void SessionAccountant::record(const ClientRequest& request,
+                               util::Seconds download, util::Seconds stall) {
+  const double download_s = download.value();
+  const double stall_s = stall.value();
   PS360_CHECK_MSG(!finished_, "record() after finish()");
   PS360_CHECK(download_s > 0.0 && stall_s >= 0.0);
   PS360_CHECK_MSG(request.segment == result_.segments.size(),
@@ -118,14 +123,16 @@ void SessionAccountant::record(const ClientRequest& request, double download_s,
   const auto& feat = workload_->features(k);
   const double actual_sfov = workload_->actual_switching_speed(test_user_, k);
 
-  double qo_hq = qo_model_.qo(feat.si, feat.ti, encoding_.fov_bitrate_mbps(
-                                                    plan.option.quality, feat));
+  double qo_hq = qo_model_.qo(
+      feat.si, feat.ti,
+      util::Mbps(encoding_.fov_bitrate_mbps(plan.option.quality, feat)));
   if (plan.frame_ratio < 1.0) {
     qo_hq *= qoe::QoModel::frame_rate_factor(
-        qoe::QoModel::alpha(actual_sfov, feat.ti), plan.frame_ratio);
+        qoe::QoModel::alpha(util::DegPerSec(actual_sfov), feat.ti),
+        plan.frame_ratio);
   }
-  const double qo_bg =
-      qo_model_.qo(feat.si, feat.ti, encoding_.fov_bitrate_mbps(1, feat));
+  const double qo_bg = qo_model_.qo(
+      feat.si, feat.ti, util::Mbps(encoding_.fov_bitrate_mbps(1, feat)));
   const double qo_eff = cov_w * qo_hq + (1.0 - cov_w) * qo_bg;
 
   const qoe::SegmentQoE seg_qoe =

@@ -17,6 +17,7 @@
 
 #include "sim/client.h"
 #include "sim/session.h"
+#include "util/units.h"
 
 namespace ps360::sim {
 
@@ -42,7 +43,8 @@ class SessionAccountant {
   // Account segment `request.segment`: delivered QoE against the user's
   // ground-truth viewport, Eq. 1 energy, and the per-segment record.
   // Segments must arrive in order, each exactly once.
-  void record(const ClientRequest& request, double download_s, double stall_s);
+  void record(const ClientRequest& request, util::Seconds download,
+              util::Seconds stall);
 
   // Aggregate into the SessionResult (Eq. 2 session QoE, means). Call once,
   // after the final record().

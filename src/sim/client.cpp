@@ -1,3 +1,6 @@
+// StreamingClient state machine (Section IV-B/IV-C loop). Deterministic:
+// all state advances only through plan_next/complete_download/
+// report_download_failure with caller-supplied times; no wall clock.
 #include "sim/client.h"
 
 #include <algorithm>
@@ -25,9 +28,9 @@ StreamingClient::StreamingClient(ClientConfig config, const VideoWorkload& workl
       head_(&head),
       predictor_(predict::make_predictor_config(config_.predictor_kind,
                                                 config_.predictor)),
-      bandwidth_(predict::make_bandwidth_estimator(config_.bandwidth_kind,
-                                                   config_.bandwidth_window,
-                                                   config_.initial_bandwidth_bytes_per_s)) {
+      bandwidth_(predict::make_bandwidth_estimator(
+          config_.bandwidth_kind, config_.bandwidth_window,
+          util::BytesPerSec(config_.initial_bandwidth_bytes_per_s))) {
   PS360_CHECK(config_.mpc.segment_seconds > 0.0);
   PS360_CHECK(config_.mpc.buffer_threshold_s > 0.0);
   PS360_CHECK_MSG(config_.recovery.max_attempts >= 1,
@@ -46,7 +49,8 @@ StreamingClient::StreamingClient(ClientConfig config, const VideoWorkload& workl
 }
 
 void StreamingClient::attach_observer(obs::Observer* observer, std::uint32_t session,
-                                      double clock_offset_s) {
+                                      util::Seconds clock_offset) {
+  const double clock_offset_s = clock_offset.value();
   observer_ = observer;
   obs_session_ = session;
   obs_clock_offset_s_ = clock_offset_s;
@@ -126,9 +130,10 @@ std::optional<ClientRequest> StreamingClient::plan_next() {
   request.bandwidth_estimate_bps = bandwidth_->estimate();
 
   // Steps (c)/(d): the scheme's MPC picks (v, f) and the byte budget.
-  request.plan = scheme_->plan(k, request.predicted, request.predicted_sfov,
-                               request.bandwidth_estimate_bps, buffer_s_,
-                               prev_plan_qo_);
+  request.plan = scheme_->plan(
+      k, request.predicted, request.predicted_sfov,
+      util::BytesPerSec(request.bandwidth_estimate_bps),
+      util::Seconds(buffer_s_), prev_plan_qo_);
   PS360_ASSERT_MSG(request.plan.option.bytes > 0.0, "a plan must download something");
 
   prev_plan_qo_ = request.plan.option.qo;
@@ -150,9 +155,10 @@ std::optional<ClientRequest> StreamingClient::plan_next() {
   return request;
 }
 
-FailureAction StreamingClient::report_download_failure(double elapsed_s,
+FailureAction StreamingClient::report_download_failure(util::Seconds elapsed,
                                                        FailureReason reason) {
   PS360_CHECK_MSG(awaiting_download_, "no download in flight");
+  const double elapsed_s = elapsed.value();
   PS360_CHECK(elapsed_s >= 0.0);
   const RecoveryConfig& rc = config_.recovery;
 
@@ -228,7 +234,8 @@ ClientRequest StreamingClient::replan_degraded() {
   if (observer_ != nullptr) observer_->now_s = obs_clock_offset_s_ + wall_t_;
   current_request_.plan = scheme_->plan(
       next_segment_, current_request_.predicted, current_request_.predicted_sfov,
-      degraded_bps, buffer_s_, prev_plan_qo_);
+      util::BytesPerSec(degraded_bps), util::Seconds(buffer_s_),
+      prev_plan_qo_);
   PS360_ASSERT_MSG(current_request_.plan.option.bytes > 0.0,
                    "a degraded plan must still download something");
   current_request_.buffer_at_request_s = buffer_s_;
@@ -246,18 +253,20 @@ ClientRequest StreamingClient::replan_degraded() {
   return current_request_;
 }
 
-double StreamingClient::complete_download(double download_s) {
+double StreamingClient::complete_download(util::Seconds download) {
+  const double download_s = download.value();
   PS360_CHECK_MSG(awaiting_download_, "no download in flight");
   PS360_CHECK(download_s > 0.0);
 
-  bandwidth_->observe(pending_bytes_ / download_s);
+  bandwidth_->observe(util::BytesPerSec(pending_bytes_ / download_s));
   wall_t_ += download_s;
 
   // Eq. 6 (the wait already happened in plan_next, so no further Δt here).
-  const core::BufferModel buffers(config_.mpc.segment_seconds,
-                                  config_.mpc.buffer_threshold_s,
-                                  config_.mpc.buffer_quantum_s);
-  const core::BufferStep step = buffers.advance(buffer_s_, download_s);
+  const core::BufferModel buffers(util::Seconds(config_.mpc.segment_seconds),
+                                  util::Seconds(config_.mpc.buffer_threshold_s),
+                                  util::Seconds(config_.mpc.buffer_quantum_s));
+  const core::BufferStep step =
+      buffers.advance(util::Seconds(buffer_s_), util::Seconds(download_s));
   PS360_ASSERT(step.wait_s == 0.0);
   const double stall =
       (next_segment_ == 0 ? 0.0 : step.stall_s) + fault_stall_s_;

@@ -20,6 +20,7 @@
 #include "predict/bandwidth_estimators.h"
 #include "predict/predictors.h"
 #include "sim/schemes.h"
+#include "util/units.h"
 
 namespace ps360::sim {
 
@@ -96,13 +97,14 @@ class StreamingClient {
   // stall time this download caused (0 for the startup segment). Any buffer
   // drained by failed attempts (report_download_failure) is folded into the
   // returned stall.
-  double complete_download(double download_s);
+  double complete_download(util::Seconds download);
 
   // Report that the in-flight attempt failed after `elapsed_s` seconds
   // (>= 0). Advances the wall clock by elapsed_s plus a capped, seeded-jitter
   // exponential backoff, drains the buffer accordingly, and returns what to
   // do next. Throws if no download is in flight — state is untouched then.
-  FailureAction report_download_failure(double elapsed_s, FailureReason reason);
+  FailureAction report_download_failure(util::Seconds elapsed,
+                                        FailureReason reason);
 
   // Re-plan the pending segment one degradation step down: the scheme is
   // re-run against a bandwidth haircut of degrade_bandwidth_factor^level, so
@@ -125,7 +127,7 @@ class StreamingClient {
   // observer->now_s before planning and after completing, which also covers
   // the nested scheme → MPC emissions. Pass nullptr to detach.
   void attach_observer(obs::Observer* observer, std::uint32_t session,
-                       double clock_offset_s = 0.0);
+                       util::Seconds clock_offset = util::Seconds(0.0));
 
   // Current state.
   double buffer_s() const { return buffer_s_; }

@@ -1,3 +1,7 @@
+// Evaluation-grid driver: per-(video,user,scheme,trace) sessions fanned
+// out over a worker pool. Deterministic by construction: workers claim
+// video indices from an atomic counter but write into per-video slots, so
+// the merged grid is independent of thread count and interleaving.
 #include "sim/experiment.h"
 
 #include <algorithm>
@@ -74,7 +78,8 @@ EvaluationGrid run_evaluation_grid(power::Device device,
   PS360_CHECK(options.max_videos >= 1);
   EvaluationGrid grid;
   const auto traces =
-      trace::make_paper_traces(options.seed, options.network_duration_s);
+      trace::make_paper_traces(options.seed,
+                               util::Seconds(options.network_duration_s));
 
   session.seed = options.seed;
   session.device = device;
@@ -85,7 +90,11 @@ EvaluationGrid run_evaluation_grid(power::Device device,
   // One result slot per video keeps the output order deterministic no
   // matter how the workers interleave.
   std::vector<std::vector<EvaluationCell>> per_video(n_videos);
+  // Work queue head: workers claim video indices with fetch_add; each
+  // index is visited once, so per_video slot writes never race.
   std::atomic<std::size_t> next_video{0};
+  // Serializes progress callbacks only — result data is lock-free via
+  // the per-video slots, so contention here cannot reorder results.
   std::mutex progress_mutex;
 
   auto worker = [&] {

@@ -1,3 +1,6 @@
+// CSV export/import of per-segment session results. The round trip is
+// lossless for the columns listed in the header row, so imported results
+// compare bit-identically to the session that produced them.
 #include "sim/export.h"
 
 #include "util/check.h"
@@ -7,6 +10,7 @@ namespace ps360::sim {
 
 void export_segments_csv(const std::filesystem::path& path,
                          const SessionResult& result) {
+  PS360_CHECK_MSG(!path.empty(), "export path must be non-empty");
   util::CsvTable table;
   table.header = {"segment",   "quality",     "frame_index", "fps",
                   "bytes",     "download_s",  "stall_s",     "buffer_before_s",
@@ -28,6 +32,7 @@ void export_segments_csv(const std::filesystem::path& path,
 }
 
 SessionResult import_segments_csv(const std::filesystem::path& path) {
+  PS360_CHECK_MSG(!path.empty(), "import path must be non-empty");
   const util::CsvTable table = util::read_csv_file(path, /*has_header=*/true);
   SessionResult result;
   std::vector<qoe::SegmentQoE> qoe_segments;

@@ -1,3 +1,6 @@
+// The five Section V streaming schemes. Each plan() is a pure function of
+// (segment, prediction, bandwidth, buffer, prev_qo) — no hidden state —
+// so scheme comparisons are reproducible decision-for-decision.
 #include "sim/schemes.h"
 
 #include <algorithm>
@@ -59,9 +62,10 @@ class SchemeBase : public Scheme {
                       double predicted_sfov) const {
     const auto& feat = env_.workload->features(segment);
     const double b = env_.encoding->fov_bitrate_mbps(quality, feat);
-    const double qo = env_.qo_model->qo(feat.si, feat.ti, b);
+    const double qo = env_.qo_model->qo(feat.si, feat.ti, util::Mbps(b));
     if (frame_ratio >= 1.0) return qo;
-    const double alpha = qoe::QoModel::alpha(predicted_sfov, feat.ti);
+    const double alpha =
+        qoe::QoModel::alpha(util::DegPerSec(predicted_sfov), feat.ti);
     return qo * qoe::QoModel::frame_rate_factor(alpha, frame_ratio);
   }
 
@@ -117,7 +121,8 @@ class CtileScheme : public SchemeBase {
   }
 
   DownloadPlan plan(std::size_t k, const Viewport& predicted, double predicted_sfov,
-                    double bandwidth, double buffer_s, double prev_qo) const override {
+                    util::BytesPerSec bandwidth, util::Seconds buffer,
+                    double prev_qo) const override {
     const auto& workload = *env_.workload;
     const auto rect =
         grid_.covering_rect(predicted.area(), env_.tile_overlap_threshold);
@@ -142,7 +147,7 @@ class CtileScheme : public SchemeBase {
         build_horizon(k, bytes, /*frame_options=*/false, predicted_sfov,
                       power::DecodeProfile::kCtile);
     const core::MpcDecision decision =
-        controller_.decide(horizon, bandwidth, buffer_s, prev_qo);
+        controller_.decide(horizon, bandwidth, buffer, prev_qo);
 
     DownloadPlan plan;
     plan.option = decision.choice;
@@ -176,7 +181,8 @@ class FtileScheme : public SchemeBase {
   }
 
   DownloadPlan plan(std::size_t k, const Viewport& predicted, double predicted_sfov,
-                    double bandwidth, double buffer_s, double prev_qo) const override {
+                    util::BytesPerSec bandwidth, util::Seconds buffer,
+                    double prev_qo) const override {
     const auto& workload = *env_.workload;
     const double L = env_.mpc.segment_seconds;
 
@@ -207,7 +213,7 @@ class FtileScheme : public SchemeBase {
         build_horizon(k, bytes, /*frame_options=*/false, predicted_sfov,
                       power::DecodeProfile::kFtile);
     const core::MpcDecision decision =
-        controller_.decide(horizon, bandwidth, buffer_s, prev_qo);
+        controller_.decide(horizon, bandwidth, buffer, prev_qo);
 
     DownloadPlan plan;
     plan.option = decision.choice;
@@ -243,7 +249,8 @@ class NontileScheme : public SchemeBase {
   }
 
   DownloadPlan plan(std::size_t k, const Viewport&, double predicted_sfov,
-                    double bandwidth, double buffer_s, double prev_qo) const override {
+                    util::BytesPerSec bandwidth, util::Seconds buffer,
+                    double prev_qo) const override {
     const auto& workload = *env_.workload;
     const double L = env_.mpc.segment_seconds;
 
@@ -256,7 +263,7 @@ class NontileScheme : public SchemeBase {
         build_horizon(k, bytes, /*frame_options=*/false, predicted_sfov,
                       power::DecodeProfile::kNontile);
     const core::MpcDecision decision =
-        controller_.decide(horizon, bandwidth, buffer_s, prev_qo);
+        controller_.decide(horizon, bandwidth, buffer, prev_qo);
 
     DownloadPlan plan;
     plan.option = decision.choice;
@@ -300,7 +307,8 @@ class PtileScheme : public SchemeBase {
   }
 
   DownloadPlan plan(std::size_t k, const Viewport& predicted, double predicted_sfov,
-                    double bandwidth, double buffer_s, double prev_qo) const override {
+                    util::BytesPerSec bandwidth, util::Seconds buffer,
+                    double prev_qo) const override {
     const auto& workload = *env_.workload;
     const ptile::Ptile* ptile =
         workload.ptiles(k).covering(predicted, env_.ptile_min_coverage);
@@ -308,7 +316,7 @@ class PtileScheme : public SchemeBase {
       // Section IV-B: no covering Ptile -> conventional tiles at the best
       // possible quality for this segment.
       DownloadPlan plan =
-          fallback_.plan(k, predicted, predicted_sfov, bandwidth, buffer_s, prev_qo);
+          fallback_.plan(k, predicted, predicted_sfov, bandwidth, buffer, prev_qo);
       plan.used_ptile = false;
       return plan;
     }
@@ -331,7 +339,7 @@ class PtileScheme : public SchemeBase {
     const auto horizon = build_horizon(k, bytes, frame_adaptation_, predicted_sfov,
                                        power::DecodeProfile::kPtile);
     const core::MpcDecision decision =
-        controller_.decide(horizon, bandwidth, buffer_s, prev_qo);
+        controller_.decide(horizon, bandwidth, buffer, prev_qo);
 
     DownloadPlan plan;
     plan.option = decision.choice;

@@ -27,6 +27,7 @@
 #include "core/mpc.h"
 #include "sim/workload.h"
 #include "video/encoding.h"
+#include "util/units.h"
 
 namespace ps360::sim {
 
@@ -79,11 +80,11 @@ class Scheme {
 
   // Plan segment k's download. `predicted` is the viewport prediction for
   // the segment's playback time, `predicted_sfov` the recent switching speed
-  // (deg/s), `bandwidth` the estimated throughput in bytes/s, `buffer_s`
-  // B_k, and `prev_qo` the previous segment's planned Qo.
+  // (deg/s), `bandwidth` the estimated throughput, `buffer` B_k, and
+  // `prev_qo` the previous segment's planned Qo.
   virtual DownloadPlan plan(std::size_t k, const geometry::Viewport& predicted,
-                            double predicted_sfov, double bandwidth,
-                            double buffer_s, double prev_qo) const = 0;
+                            double predicted_sfov, util::BytesPerSec bandwidth,
+                            util::Seconds buffer, double prev_qo) const = 0;
 
   // Fraction of the actual viewport the plan serves at high quality.
   virtual double coverage(const DownloadPlan& plan,

@@ -1,3 +1,6 @@
+// simulate_session: drives a StreamingClient against a NetworkTrace (plus
+// optional fault schedule). Deterministic: downloads integrate the trace,
+// faults come from a seeded schedule, and no step reads a real clock.
 #include "sim/session.h"
 
 #include <algorithm>
@@ -38,7 +41,9 @@ FaultedDownload download_with_faults(StreamingClient& client,
       const double start = t + wait_s;
       const double busy =
           network.time_to_download(request.plan.option.bytes, start);
-      out.download_s = wait_s + busy + schedule.outage_overlap(start, busy);
+      out.download_s =
+          wait_s + busy +
+          schedule.outage_overlap(start, util::Seconds(busy));
       out.radio_s += out.download_s;
       return out;
     }
@@ -60,7 +65,8 @@ FaultedDownload download_with_faults(StreamingClient& client,
         const double busy =
             network.time_to_download(request.plan.option.bytes, t) +
             fault.spike_s;
-        const double download_s = busy + schedule.outage_overlap(t, busy);
+        const double download_s =
+            busy + schedule.outage_overlap(t, util::Seconds(busy));
         if (download_s <= rc.timeout_s) {
           out.download_s = download_s;
           out.radio_s += download_s;
@@ -71,7 +77,8 @@ FaultedDownload download_with_faults(StreamingClient& client,
       }
     }
     out.radio_s += elapsed;
-    const FailureAction action = client.report_download_failure(elapsed, reason);
+    const FailureAction action =
+        client.report_download_failure(util::Seconds(elapsed), reason);
     if (action.degrade) request = client.replan_degraded();
   }
 }
@@ -109,8 +116,10 @@ SessionResult simulate_session(const VideoWorkload& workload, std::size_t test_u
       const double download_s =
           network.time_to_download(request->plan.option.bytes, client.wall_time_s());
       PS360_ASSERT(download_s > 0.0);
-      const double stall = client.complete_download(download_s);
-      accountant.record(*request, download_s, stall);
+      const double stall =
+          client.complete_download(util::Seconds(download_s));
+      accountant.record(*request, util::Seconds(download_s),
+                        util::Seconds(stall));
     }
     return accountant.finish();
   }
@@ -126,8 +135,9 @@ SessionResult simulate_session(const VideoWorkload& workload, std::size_t test_u
     const FaultedDownload d =
         download_with_faults(client, network, schedule, *request);
     PS360_ASSERT(d.download_s > 0.0);
-    const double stall = client.complete_download(d.download_s);
-    accountant.record(*request, d.radio_s, stall);
+    const double stall = client.complete_download(util::Seconds(d.download_s));
+    accountant.record(*request, util::Seconds(d.radio_s),
+                      util::Seconds(stall));
   }
   return accountant.finish();
 }

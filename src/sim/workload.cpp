@@ -1,3 +1,6 @@
+// VideoWorkload: per-video derived artifacts (features, Ptiles, layouts,
+// head traces) built once from seeded inputs; all accessors are const, so
+// every session over the same workload sees identical data.
 #include "sim/workload.h"
 
 #include <algorithm>
@@ -86,7 +89,7 @@ Viewport VideoWorkload::actual_viewport(std::size_t test_user,
                                         std::size_t segment) const {
   const double mid = (static_cast<double>(segment) + 0.5) * config_.segment_seconds;
   return test_trace(test_user).viewport_at(std::min(mid, video_.duration_s),
-                                           config_.fov_deg);
+                                           util::Degrees(config_.fov_deg));
 }
 
 double VideoWorkload::actual_switching_speed(std::size_t test_user,

@@ -63,7 +63,8 @@ std::optional<OutageWindow> FaultSchedule::outage_at(double t) {
   return std::nullopt;
 }
 
-double FaultSchedule::outage_overlap(double t, double busy_s) {
+double FaultSchedule::outage_overlap(double t, util::Seconds busy) {
+  const double busy_s = busy.value();
   PS360_CHECK(t >= 0.0 && busy_s >= 0.0);
   if (!config_.enabled || config_.outage_spacing_s <= 0.0 || busy_s == 0.0)
     return 0.0;

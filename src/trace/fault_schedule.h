@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/units.h"
 
 namespace ps360::trace {
 
@@ -59,9 +60,9 @@ class FaultSchedule {
   // window list as needed; windows are disjoint and strictly ordered.
   std::optional<OutageWindow> outage_at(double t);
 
-  // Seconds of outage overlapping [t, t + busy_s): the extra wall time a
-  // transfer spanning that span spends paused. busy_s must be >= 0.
-  double outage_overlap(double t, double busy_s);
+  // Seconds of outage overlapping [t, t + busy): the extra wall time a
+  // transfer spanning that span spends paused. busy must be >= 0.
+  double outage_overlap(double t, util::Seconds busy);
 
   // Fault verdict for a given (segment, attempt) pair. Stateless and
   // order-invariant: derived from the session seed alone.

@@ -1,3 +1,6 @@
+// Synthetic head-trajectory generator (attractor + drift + saccades).
+// Pure function of (video params, seed): no global RNG, no wall clock, so
+// generated traces are reproducible sample-for-sample.
 #include "trace/head_synth.h"
 
 #include <algorithm>

@@ -1,3 +1,6 @@
+// Head-orientation trace container: causal sampling/interpolation over
+// recorded samples. Query results depend only on the stored samples and
+// the query time, never on external state.
 #include "trace/head_trace.h"
 
 #include <algorithm>
@@ -45,9 +48,8 @@ EquirectPoint HeadTrace::center_at(double t) const {
   return lerp_center(lo.center, hi.center, frac);
 }
 
-geometry::Viewport HeadTrace::viewport_at(double t, double fov_deg) const {
-  return geometry::Viewport(center_at(t), geometry::Degrees(fov_deg),
-                            geometry::Degrees(fov_deg));
+geometry::Viewport HeadTrace::viewport_at(double t, util::Degrees fov) const {
+  return geometry::Viewport(center_at(t), fov, fov);
 }
 
 EquirectPoint HeadTrace::mean_center(double t0, double t1) const {

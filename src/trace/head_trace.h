@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "geometry/viewport.h"
+#include "util/units.h"
 
 namespace ps360::trace {
 
@@ -35,7 +36,8 @@ class HeadTrace {
   geometry::EquirectPoint center_at(double t) const;
 
   // The user's viewport at time t with the given FoV.
-  geometry::Viewport viewport_at(double t, double fov_deg = 100.0) const;
+  geometry::Viewport viewport_at(double t,
+                                 util::Degrees fov = util::Degrees(100.0)) const;
 
   // Mean viewing center over [t0, t1] (wrap-aware circular mean on x).
   geometry::EquirectPoint mean_center(double t0, double t1) const;

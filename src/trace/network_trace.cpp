@@ -1,3 +1,6 @@
+// Piecewise-constant throughput traces, including the paper's two 4G/5G
+// profiles. Seeded generation + pure integration queries keep download
+// times identical across reruns.
 #include "trace/network_trace.h"
 
 #include <algorithm>
@@ -179,7 +182,8 @@ NetworkTrace synthesize_network_trace(const NetworkSynthConfig& config) {
 }
 
 std::pair<NetworkTrace, NetworkTrace> make_paper_traces(std::uint64_t seed,
-                                                        double duration_s) {
+                                                        util::Seconds duration) {
+  const double duration_s = duration.value();
   NetworkSynthConfig config;
   config.seed = seed;
   config.duration_s = duration_s;

@@ -12,6 +12,8 @@
 #include <filesystem>
 #include <vector>
 
+#include "util/units.h"
+
 namespace ps360::trace {
 
 struct ThroughputSample {
@@ -95,7 +97,7 @@ NetworkTrace synthesize_network_trace(const NetworkSynthConfig& config);
 // The two evaluation conditions of Section V: first element is trace 1
 // (2x bandwidth), second is trace 2.
 std::pair<NetworkTrace, NetworkTrace> make_paper_traces(std::uint64_t seed,
-                                                        double duration_s);
+                                                        util::Seconds duration);
 
 // CSV persistence. Columns: t,mbps.
 void save_network_trace(const std::filesystem::path& path, const NetworkTrace& trace);

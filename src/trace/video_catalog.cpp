@@ -1,6 +1,11 @@
+// Table III video catalog (8 test + 10 extended genres). Static data
+// built once; lookups are pure, so catalog consumers are trivially
+// deterministic.
 #include "trace/video_catalog.h"
 
 #include <stdexcept>
+
+#include "util/check.h"
 
 namespace ps360::trace {
 
@@ -57,6 +62,7 @@ const std::vector<VideoInfo>& extended_videos() {
 }
 
 const VideoInfo& video_by_id(int id) {
+  PS360_CHECK_MSG(id >= 1, "video ids are 1-based (Table III)");
   for (const auto& v : extended_videos())
     if (v.id == id) return v;
   throw std::invalid_argument("unknown video id: " + std::to_string(id));

@@ -88,6 +88,14 @@ using Seconds = Quantity<struct SecondsTag>;
 using Mbps = Quantity<struct MbpsTag>;
 using Joules = Quantity<struct JoulesTag>;
 using Watts = Quantity<struct WattsTag>;
+// Transfer rates on the wire are tracked in bytes/second (the traces and
+// the shared-link fluid model both work in bytes); Mbps is the presentation
+// unit. Keeping them distinct types makes the 1e6/8 factor an explicit,
+// greppable conversion instead of a latent ×8 bug.
+using BytesPerSec = Quantity<struct BytesPerSecTag>;
+// Viewport scan speed (the paper's S_fov): degrees of head motion per
+// second, the input to the frame-rate sensitivity factor.
+using DegPerSec = Quantity<struct DegPerSecTag>;
 
 // --- explicit conversions ---------------------------------------------------
 
@@ -117,6 +125,27 @@ constexpr Joules millijoules(double mj) { return Joules(mj * 1e-3); }
 // Bandwidth <-> transfer time: `bits / rate = time`.
 constexpr Seconds transfer_time(double bits, Mbps rate) {
   return Seconds(bits / (rate.value() * 1e6));
+}
+
+// Wire-rate conversions: 1 Mbps = 1e6 bits/s = 1.25e5 bytes/s.
+constexpr BytesPerSec to_bytes_per_sec(Mbps rate) {
+  return BytesPerSec(rate.value() * (1e6 / 8.0));
+}
+constexpr Mbps to_mbps(BytesPerSec rate) {
+  return Mbps(rate.value() * (8.0 / 1e6));
+}
+
+// Rate × time = bytes moved; bytes / rate = transfer time.
+constexpr double bytes_in(BytesPerSec rate, Seconds t) {
+  return rate.value() * t.value();
+}
+constexpr Seconds transfer_time_bytes(double bytes, BytesPerSec rate) {
+  return Seconds(bytes / rate.value());
+}
+
+// Head-motion speed over an interval: degrees swept / elapsed time.
+constexpr DegPerSec operator/(Degrees d, Seconds t) {
+  return DegPerSec(d.value() / t.value());
 }
 
 // --- literals ----------------------------------------------------------------

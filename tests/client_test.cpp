@@ -46,7 +46,7 @@ TEST(StreamingClientTest, WalksEverySegmentExactlyOnce) {
   std::size_t planned = 0;
   while (auto request = client.plan_next()) {
     EXPECT_EQ(request->segment, planned);
-    client.complete_download(0.4);
+    client.complete_download(util::Seconds(0.4));
     ++planned;
   }
   EXPECT_EQ(planned, fixture.workload->segment_count());
@@ -71,7 +71,7 @@ TEST(StreamingClientTest, BufferFollowsEq6) {
     const double expected_wait = std::max(expected_buffer - beta, 0.0);
     EXPECT_NEAR(request->wait_s, expected_wait, 1e-12);
     const double download_s = 0.25;
-    const double stall = client.complete_download(download_s);
+    const double stall = client.complete_download(util::Seconds(download_s));
     EXPECT_DOUBLE_EQ(stall, 0.0);
     expected_buffer =
         std::max(expected_buffer - expected_wait - download_s, 0.0) + L;
@@ -84,10 +84,10 @@ TEST(StreamingClientTest, StallAccountedWhenDownloadOutlastsBuffer) {
   const ClientFixture fixture;
   auto client = fixture.make_client();
   ASSERT_TRUE(client.plan_next().has_value());
-  EXPECT_DOUBLE_EQ(client.complete_download(5.0), 0.0);  // startup excluded
+  EXPECT_DOUBLE_EQ(client.complete_download(util::Seconds(5.0)), 0.0);  // startup excluded
   ASSERT_TRUE(client.plan_next().has_value());
   // Buffer is 1 s (one segment); a 2.5 s download stalls 1.5 s.
-  const double stall = client.complete_download(2.5);
+  const double stall = client.complete_download(util::Seconds(2.5));
   EXPECT_NEAR(stall, 1.5, 1e-12);
   EXPECT_NEAR(client.buffer_s(), 1.0, 1e-12);  // drained, then refilled by L
 }
@@ -100,7 +100,7 @@ TEST(StreamingClientTest, WallClockAdvancesByWaitAndDownload) {
     const auto request = client.plan_next();
     ASSERT_TRUE(request.has_value());
     expected_wall += request->wait_s;
-    client.complete_download(0.5);
+    client.complete_download(util::Seconds(0.5));
     expected_wall += 0.5;
     EXPECT_NEAR(client.wall_time_s(), expected_wall, 1e-12);
   }
@@ -111,7 +111,7 @@ TEST(StreamingClientTest, PlayheadLagsDownloadsByBuffer) {
   auto client = fixture.make_client();
   for (int k = 0; k < 5; ++k) {
     ASSERT_TRUE(client.plan_next().has_value());
-    client.complete_download(0.5);
+    client.complete_download(util::Seconds(0.5));
   }
   EXPECT_NEAR(client.playhead_s(),
               static_cast<double>(client.next_segment()) - client.buffer_s(), 1e-12);
@@ -120,11 +120,11 @@ TEST(StreamingClientTest, PlayheadLagsDownloadsByBuffer) {
 TEST(StreamingClientTest, ProtocolMisuseThrows) {
   const ClientFixture fixture;
   auto client = fixture.make_client();
-  EXPECT_THROW(client.complete_download(0.5), std::invalid_argument);
+  EXPECT_THROW(client.complete_download(util::Seconds(0.5)), std::invalid_argument);
   ASSERT_TRUE(client.plan_next().has_value());
   EXPECT_THROW(client.plan_next(), std::invalid_argument);
-  EXPECT_THROW(client.complete_download(0.0), std::invalid_argument);
-  EXPECT_NO_THROW(client.complete_download(0.5));
+  EXPECT_THROW(client.complete_download(util::Seconds(0.0)), std::invalid_argument);
+  EXPECT_NO_THROW(client.complete_download(util::Seconds(0.5)));
 }
 
 // Misuse must fail loudly *and* leave the client's buffer/wall state exactly
@@ -140,18 +140,18 @@ TEST(StreamingClientTest, MisuseDoesNotCorruptState) {
   // plan_next twice without completing, and completing with a negative or
   // zero download time, are protocol violations.
   EXPECT_THROW(client.plan_next(), std::invalid_argument);
-  EXPECT_THROW(client.complete_download(-1.0), std::invalid_argument);
-  EXPECT_THROW(client.complete_download(0.0), std::invalid_argument);
+  EXPECT_THROW(client.complete_download(util::Seconds(-1.0)), std::invalid_argument);
+  EXPECT_THROW(client.complete_download(util::Seconds(0.0)), std::invalid_argument);
 
   EXPECT_DOUBLE_EQ(client.buffer_s(), buffer_before);
   EXPECT_DOUBLE_EQ(client.wall_time_s(), wall_before);
   EXPECT_EQ(client.next_segment(), segment_before);
 
   // The in-flight download is still completable and the loop proceeds.
-  EXPECT_NO_THROW(client.complete_download(0.5));
+  EXPECT_NO_THROW(client.complete_download(util::Seconds(0.5)));
   EXPECT_EQ(client.next_segment(), segment_before + 1);
   ASSERT_TRUE(client.plan_next().has_value());
-  EXPECT_NO_THROW(client.complete_download(0.5));
+  EXPECT_NO_THROW(client.complete_download(util::Seconds(0.5)));
 }
 
 TEST(StreamingClientTest, RejectsNonFiniteDownloadTime) {
@@ -159,9 +159,9 @@ TEST(StreamingClientTest, RejectsNonFiniteDownloadTime) {
   auto client = fixture.make_client();
   ASSERT_TRUE(client.plan_next().has_value());
   // NaN fails the download_s > 0 precondition, same as zero and negative.
-  EXPECT_THROW(client.complete_download(std::numeric_limits<double>::quiet_NaN()),
+  EXPECT_THROW(client.complete_download(util::Seconds(std::numeric_limits<double>::quiet_NaN())),
                std::invalid_argument);
-  EXPECT_NO_THROW(client.complete_download(0.5));
+  EXPECT_NO_THROW(client.complete_download(util::Seconds(0.5)));
 }
 
 // Rejected calls must also be invisible to an attached observer: a misuse
@@ -175,13 +175,13 @@ TEST(StreamingClientTest, MisuseEmitsNoObservation) {
   obs::Observer observer{&metrics, &tracer};
   client.attach_observer(&observer, /*session=*/0);
 
-  EXPECT_THROW(client.complete_download(0.5), std::invalid_argument);
+  EXPECT_THROW(client.complete_download(util::Seconds(0.5)), std::invalid_argument);
   ASSERT_TRUE(client.plan_next().has_value());
   const double planned = metrics.value("client.segments_planned");
   const std::uint64_t recorded = tracer.recorded();
 
   EXPECT_THROW(client.plan_next(), std::invalid_argument);
-  EXPECT_THROW(client.complete_download(-1.0), std::invalid_argument);
+  EXPECT_THROW(client.complete_download(util::Seconds(-1.0)), std::invalid_argument);
   EXPECT_EQ(metrics.value("client.segments_planned"), planned);
   EXPECT_EQ(tracer.recorded(), recorded);
 }
@@ -191,11 +191,11 @@ TEST(StreamingClientTest, MisuseEmitsNoObservation) {
 TEST(StreamingClientTest, PostFinishContract) {
   const ClientFixture fixture;
   auto client = fixture.make_client();
-  while (auto request = client.plan_next()) client.complete_download(0.4);
+  while (auto request = client.plan_next()) client.complete_download(util::Seconds(0.4));
   ASSERT_TRUE(client.finished());
   EXPECT_FALSE(client.plan_next().has_value());
   EXPECT_FALSE(client.plan_next().has_value());  // idempotent
-  EXPECT_THROW(client.complete_download(0.5), std::invalid_argument);
+  EXPECT_THROW(client.complete_download(util::Seconds(0.5)), std::invalid_argument);
 }
 
 TEST(StreamingClientTest, SlowBandwidthEstimateLowersQuality) {
@@ -212,8 +212,8 @@ TEST(StreamingClientTest, SlowBandwidthEstimateLowersQuality) {
       slow_quality += slow_request->plan.option.quality;
     }
     // Feed very different observed rates.
-    fast_client.complete_download(std::max(fast_request->plan.option.bytes / 2e6, 1e-3));
-    slow_client.complete_download(std::max(slow_request->plan.option.bytes / 1e5, 1e-3));
+    fast_client.complete_download(util::Seconds(std::max(fast_request->plan.option.bytes / 2e6, 1e-3)));
+    slow_client.complete_download(util::Seconds(std::max(slow_request->plan.option.bytes / 1e5, 1e-3)));
   }
   EXPECT_GT(fast_quality, slow_quality);
 }

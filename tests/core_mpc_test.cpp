@@ -51,47 +51,47 @@ SegmentChoices make_choices(double bytes_scale, DecodeProfile profile,
 // ------------------------------------------------------------- BufferModel
 
 TEST(BufferModelTest, Eq6StepWithoutWait) {
-  const BufferModel model(1.0, 3.0, 0.5);
+  const BufferModel model(util::Seconds(1.0), util::Seconds(3.0), util::Seconds(0.5));
   // Below threshold: no wait. 2 s buffered, 0.5 s download -> 2.5 s after
   // the refill.
-  const BufferStep step = model.advance(2.0, 0.5);
+  const BufferStep step = model.advance(util::Seconds(2.0), util::Seconds(0.5));
   EXPECT_DOUBLE_EQ(step.wait_s, 0.0);
   EXPECT_DOUBLE_EQ(step.stall_s, 0.0);
   EXPECT_DOUBLE_EQ(step.next_buffer_s, 2.5);
 }
 
 TEST(BufferModelTest, Eq6WaitAboveThreshold) {
-  const BufferModel model(1.0, 3.0, 0.5);
-  const BufferStep step = model.advance(3.8, 0.5);
+  const BufferModel model(util::Seconds(1.0), util::Seconds(3.0), util::Seconds(0.5));
+  const BufferStep step = model.advance(util::Seconds(3.8), util::Seconds(0.5));
   EXPECT_DOUBLE_EQ(step.wait_s, 0.8);
   EXPECT_DOUBLE_EQ(step.next_buffer_s, 3.5);
 }
 
 TEST(BufferModelTest, Eq6StallWhenDownloadOutlastsBuffer) {
-  const BufferModel model(1.0, 3.0, 0.5);
-  const BufferStep step = model.advance(1.0, 2.4);
+  const BufferModel model(util::Seconds(1.0), util::Seconds(3.0), util::Seconds(0.5));
+  const BufferStep step = model.advance(util::Seconds(1.0), util::Seconds(2.4));
   EXPECT_DOUBLE_EQ(step.stall_s, 1.4);
   EXPECT_DOUBLE_EQ(step.next_buffer_s, 1.0);  // drained, then +L
 }
 
 TEST(BufferModelTest, QuantizationGridMatchesPaper) {
   // β = 3 s, L = 1 s, 500 ms quantum: levels 0, 0.5, ..., 4.0 -> 9 states.
-  const BufferModel model(1.0, 3.0, 0.5);
+  const BufferModel model(util::Seconds(1.0), util::Seconds(3.0), util::Seconds(0.5));
   EXPECT_EQ(model.bucket_count(), 9u);
-  EXPECT_DOUBLE_EQ(model.quantize(1.26), 1.5);
-  EXPECT_DOUBLE_EQ(model.quantize(1.24), 1.0);
-  EXPECT_DOUBLE_EQ(model.quantize(99.0), 4.0);  // capped at β + L
-  EXPECT_EQ(model.bucket_of(2.0), 4);
-  const BufferStep q = model.advance_quantized(2.0, 0.3);
+  EXPECT_DOUBLE_EQ(model.quantize(util::Seconds(1.26)), 1.5);
+  EXPECT_DOUBLE_EQ(model.quantize(util::Seconds(1.24)), 1.0);
+  EXPECT_DOUBLE_EQ(model.quantize(util::Seconds(99.0)), 4.0);  // capped at β + L
+  EXPECT_EQ(model.bucket_of(util::Seconds(2.0)), 4);
+  const BufferStep q = model.advance_quantized(util::Seconds(2.0), util::Seconds(0.3));
   EXPECT_DOUBLE_EQ(q.next_buffer_s, 2.5);  // 2.7 rounds to 2.5
 }
 
 TEST(BufferModelTest, Validation) {
-  EXPECT_THROW(BufferModel(0.0, 3.0, 0.5), std::invalid_argument);
-  EXPECT_THROW(BufferModel(1.0, 3.0, 0.0), std::invalid_argument);
-  EXPECT_THROW(BufferModel(1.0, 3.0, 4.0), std::invalid_argument);
-  const BufferModel model(1.0, 3.0, 0.5);
-  EXPECT_THROW(model.advance(-1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(BufferModel(util::Seconds(0.0), util::Seconds(3.0), util::Seconds(0.5)), std::invalid_argument);
+  EXPECT_THROW(BufferModel(util::Seconds(1.0), util::Seconds(3.0), util::Seconds(0.0)), std::invalid_argument);
+  EXPECT_THROW(BufferModel(util::Seconds(1.0), util::Seconds(3.0), util::Seconds(4.0)), std::invalid_argument);
+  const BufferModel model(util::Seconds(1.0), util::Seconds(3.0), util::Seconds(0.5));
+  EXPECT_THROW(model.advance(util::Seconds(-1.0), util::Seconds(0.5)), std::invalid_argument);
 }
 
 // ---------------------------------------------------------- ReferenceOption
@@ -99,7 +99,7 @@ TEST(BufferModelTest, Validation) {
 TEST(ReferenceOptionTest, PicksHighestSustainableQuality) {
   const auto choices = make_choices(1e6, DecodeProfile::kPtile);
   // Bandwidth 2e5 B/s, buffer threshold 3 s: options up to 6e5 bytes fit.
-  const auto& ref = reference_option(choices, 2e5, 3.0);
+  const auto& ref = reference_option(choices, util::BytesPerSec(2e5), util::Seconds(3.0));
   // quality 4 costs 0.40e6 <= 0.6e6, quality 5 costs 1e6 > 0.6e6.
   EXPECT_EQ(ref.quality, 4);
   EXPECT_EQ(ref.frame_index, 4u);
@@ -107,13 +107,13 @@ TEST(ReferenceOptionTest, PicksHighestSustainableQuality) {
 
 TEST(ReferenceOptionTest, FallsBackToCheapestWhenNothingFits) {
   const auto choices = make_choices(1e9, DecodeProfile::kPtile);
-  const auto& ref = reference_option(choices, 1e3, 3.0);
+  const auto& ref = reference_option(choices, util::BytesPerSec(1e3), util::Seconds(3.0));
   EXPECT_EQ(ref.quality, 1);
 }
 
 TEST(ReferenceOptionTest, PrefersHigherFrameRateAtSameQuality) {
   const auto choices = make_choices(1e5, DecodeProfile::kPtile, true);
-  const auto& ref = reference_option(choices, 1e6, 3.0);
+  const auto& ref = reference_option(choices, util::BytesPerSec(1e6), util::Seconds(3.0));
   EXPECT_EQ(ref.quality, 5);
   EXPECT_EQ(ref.frame_index, 4u);
 }
@@ -127,7 +127,7 @@ TEST(MpcEnergyTest, OptionEnergyMatchesEq1) {
   option.bytes = 1e6;
   option.fps = 30.0;
   option.profile = DecodeProfile::kPtile;
-  const auto energy = controller.option_energy(option, 2e6);
+  const auto energy = controller.option_energy(option, util::BytesPerSec(2e6));
   EXPECT_NEAR(energy.transmit_mj, 1429.08 * 0.5, 1e-6);
   EXPECT_NEAR(energy.decode_mj, 140.73 + 5.96 * 30.0, 1e-6);
 }
@@ -168,9 +168,9 @@ TEST_P(DpEquivalence, DpMatchesExhaustive) {
   const double buffer = rng.uniform(0.0, 3.5);
   const double prev_qo = rng.uniform(0.0, 100.0);
 
-  const MpcDecision dp = controller.decide(horizon, bandwidth, buffer, prev_qo);
+  const MpcDecision dp = controller.decide(horizon, util::BytesPerSec(bandwidth), util::Seconds(buffer), prev_qo);
   const MpcDecision brute =
-      controller.decide_exhaustive(horizon, bandwidth, buffer, prev_qo);
+      controller.decide_exhaustive(horizon, util::BytesPerSec(bandwidth), util::Seconds(buffer), prev_qo);
 
   EXPECT_NEAR(dp.objective, brute.objective, 1e-6)
       << "seed " << seed << " energy_mode " << energy_mode;
@@ -187,7 +187,7 @@ TEST(MpcQoeTest, PicksHighestQualityWhenBandwidthIsAmple) {
   const MpcController controller(default_config(), power::device_model(Device::kPixel3),
                                  MpcObjective::kMaxQoE);
   std::vector<SegmentChoices> horizon(3, make_choices(1e6, DecodeProfile::kCtile));
-  const MpcDecision decision = controller.decide(horizon, 1e7, 3.0, -1.0);
+  const MpcDecision decision = controller.decide(horizon, util::BytesPerSec(1e7), util::Seconds(3.0), -1.0);
   EXPECT_EQ(decision.choice.quality, 5);
   EXPECT_TRUE(decision.feasible);
 }
@@ -197,7 +197,7 @@ TEST(MpcQoeTest, ThrottlesWhenBandwidthIsScarce) {
                                  MpcObjective::kMaxQoE);
   std::vector<SegmentChoices> horizon(3, make_choices(1e6, DecodeProfile::kCtile));
   // 1e5 B/s: quality 5 (1e6 bytes) would take 10 s per 1 s segment.
-  const MpcDecision decision = controller.decide(horizon, 1e5, 3.0, -1.0);
+  const MpcDecision decision = controller.decide(horizon, util::BytesPerSec(1e5), util::Seconds(3.0), -1.0);
   EXPECT_LT(decision.choice.quality, 5);
 }
 
@@ -210,12 +210,12 @@ TEST(MpcQoeTest, VariationPenaltyDiscouragesOscillation) {
   // Previous segment was low quality: with a huge variation weight the
   // controller must not jump straight to the top.
   const double prev_qo = horizon[0].options.front().qo;
-  const MpcDecision jumpy = controller.decide(horizon, 1e7, 3.0, prev_qo);
+  const MpcDecision jumpy = controller.decide(horizon, util::BytesPerSec(1e7), util::Seconds(3.0), prev_qo);
   MpcConfig no_penalty = default_config();
   no_penalty.weights.variation = 0.0;
   const MpcController free_controller(no_penalty, power::device_model(Device::kPixel3),
                                       MpcObjective::kMaxQoE);
-  const MpcDecision free_jump = free_controller.decide(horizon, 1e7, 3.0, prev_qo);
+  const MpcDecision free_jump = free_controller.decide(horizon, util::BytesPerSec(1e7), util::Seconds(3.0), prev_qo);
   EXPECT_LE(jumpy.choice.quality, free_jump.choice.quality);
 }
 
@@ -227,10 +227,10 @@ TEST(MpcEnergyModeTest, EpsilonConstraintKeepsQoNearReference) {
                                  MpcObjective::kMinEnergyQoEConstrained);
   std::vector<SegmentChoices> horizon(3, make_choices(1e6, DecodeProfile::kPtile, true));
   const double bandwidth = 1e6;
-  const MpcDecision decision = controller.decide(horizon, bandwidth, 3.0, -1.0);
+  const MpcDecision decision = controller.decide(horizon, util::BytesPerSec(bandwidth), util::Seconds(3.0), -1.0);
   ASSERT_TRUE(decision.feasible);
   const double q_ref =
-      reference_option(horizon[0], bandwidth, config.buffer_threshold_s).qo;
+      reference_option(horizon[0], util::BytesPerSec(bandwidth), util::Seconds(config.buffer_threshold_s)).qo;
   EXPECT_GE(decision.choice.qo, (1.0 - config.epsilon) * q_ref - 1e-9);
 }
 
@@ -244,7 +244,7 @@ TEST(MpcEnergyModeTest, MinimisesEnergyAmongFeasible) {
   QualityOption expensive{5, 4, 30.0, 2e6, 90.0, DecodeProfile::kPtile};
   QualityOption cheap{5, 1, 21.0, 1.5e6, 90.0, DecodeProfile::kPtile};
   choices.options = {expensive, cheap};
-  const MpcDecision decision = controller.decide({choices}, 1e6, 3.0, -1.0);
+  const MpcDecision decision = controller.decide({choices}, util::BytesPerSec(1e6), util::Seconds(3.0), -1.0);
   EXPECT_EQ(decision.choice.frame_index, 1u);
 }
 
@@ -265,7 +265,7 @@ TEST(MpcEnergyModeTest, FrameRateDropUsedWhenQoeAllows) {
     option.profile = DecodeProfile::kPtile;
     choices.options.push_back(option);
   }
-  const MpcDecision decision = controller.decide({choices, choices}, 1e6, 3.0, -1.0);
+  const MpcDecision decision = controller.decide({choices, choices}, util::BytesPerSec(1e6), util::Seconds(3.0), -1.0);
   EXPECT_EQ(decision.choice.frame_index, 1u);  // 30% reduction chosen
 }
 
@@ -274,7 +274,7 @@ TEST(MpcEnergyModeTest, InfeasibleBandwidthFallsBackGracefully) {
                                  MpcObjective::kMinEnergyQoEConstrained);
   std::vector<SegmentChoices> horizon(3, make_choices(1e8, DecodeProfile::kPtile));
   // Hopeless bandwidth: every option stalls. Must still return a choice.
-  const MpcDecision decision = controller.decide(horizon, 1e3, 0.0, -1.0);
+  const MpcDecision decision = controller.decide(horizon, util::BytesPerSec(1e3), util::Seconds(0.0), -1.0);
   EXPECT_FALSE(decision.feasible);
   EXPECT_GE(decision.choice.quality, 1);
   // And the fallback should pick the least-stalling (cheapest) option.
@@ -291,10 +291,10 @@ TEST(MpcEnergyModeTest, EnergyNeverExceedsQoeMaxEnergy) {
                                      MpcObjective::kMaxQoE);
   std::vector<SegmentChoices> horizon(4, make_choices(1e6, DecodeProfile::kPtile, true));
   const double bandwidth = 8e5;
-  const auto e = energy_controller.decide(horizon, bandwidth, 3.0, -1.0);
-  const auto q = qoe_controller.decide(horizon, bandwidth, 3.0, -1.0);
-  EXPECT_LE(energy_controller.option_energy(e.choice, bandwidth).total_mj(),
-            energy_controller.option_energy(q.choice, bandwidth).total_mj() + 1e-9);
+  const auto e = energy_controller.decide(horizon, util::BytesPerSec(bandwidth), util::Seconds(3.0), -1.0);
+  const auto q = qoe_controller.decide(horizon, util::BytesPerSec(bandwidth), util::Seconds(3.0), -1.0);
+  EXPECT_LE(energy_controller.option_energy(e.choice, util::BytesPerSec(bandwidth)).total_mj(),
+            energy_controller.option_energy(q.choice, util::BytesPerSec(bandwidth)).total_mj() + 1e-9);
 }
 
 TEST(MpcScalingTest, LongHorizonsStayFastAndConsistent) {
@@ -305,7 +305,7 @@ TEST(MpcScalingTest, LongHorizonsStayFastAndConsistent) {
   const MpcController controller(default_config(), power::device_model(Device::kPixel3),
                                  MpcObjective::kMinEnergyQoEConstrained);
   std::vector<SegmentChoices> horizon(50, make_choices(1e6, DecodeProfile::kPtile, true));
-  const MpcDecision decision = controller.decide(horizon, 8e5, 3.0, -1.0);
+  const MpcDecision decision = controller.decide(horizon, util::BytesPerSec(8e5), util::Seconds(3.0), -1.0);
   EXPECT_GE(decision.choice.quality, 1);
   EXPECT_LE(decision.choice.quality, 5);
   EXPECT_TRUE(decision.feasible);
@@ -323,7 +323,7 @@ TEST(MpcScalingTest, SingleOptionHorizonIsForced) {
   option.qo = 60.0;
   option.profile = DecodeProfile::kCtile;
   only.options = {option};
-  const MpcDecision decision = controller.decide({only, only}, 1e6, 3.0, -1.0);
+  const MpcDecision decision = controller.decide({only, only}, util::BytesPerSec(1e6), util::Seconds(3.0), -1.0);
   EXPECT_EQ(decision.choice.quality, 3);
 }
 
@@ -334,9 +334,9 @@ TEST(MpcEnergyModeTest, ZeroEpsilonPinsTheReference) {
                                  MpcObjective::kMinEnergyQoEConstrained);
   std::vector<SegmentChoices> horizon(3, make_choices(1e6, DecodeProfile::kPtile, true));
   const double bandwidth = 1e6;
-  const MpcDecision decision = controller.decide(horizon, bandwidth, 3.0, -1.0);
+  const MpcDecision decision = controller.decide(horizon, util::BytesPerSec(bandwidth), util::Seconds(3.0), -1.0);
   const double q_ref =
-      reference_option(horizon[0], bandwidth, config.segment_seconds).qo;
+      reference_option(horizon[0], util::BytesPerSec(bandwidth), util::Seconds(config.segment_seconds)).qo;
   EXPECT_GE(decision.choice.qo, q_ref - 1e-9);
 }
 
@@ -345,12 +345,12 @@ TEST(MpcEnergyModeTest, ZeroEpsilonPinsTheReference) {
 TEST(MpcValidationTest, RejectsBadInputs) {
   const MpcController controller(default_config(), power::device_model(Device::kPixel3),
                                  MpcObjective::kMaxQoE);
-  EXPECT_THROW(controller.decide({}, 1e6, 3.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(controller.decide({}, util::BytesPerSec(1e6), util::Seconds(3.0), -1.0), std::invalid_argument);
   std::vector<SegmentChoices> horizon(1);
-  EXPECT_THROW(controller.decide(horizon, 1e6, 3.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(controller.decide(horizon, util::BytesPerSec(1e6), util::Seconds(3.0), -1.0), std::invalid_argument);
   horizon[0] = make_choices(1e6, DecodeProfile::kPtile);
-  EXPECT_THROW(controller.decide(horizon, 0.0, 3.0, -1.0), std::invalid_argument);
-  EXPECT_THROW(controller.decide(horizon, 1e6, -1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(controller.decide(horizon, util::BytesPerSec(0.0), util::Seconds(3.0), -1.0), std::invalid_argument);
+  EXPECT_THROW(controller.decide(horizon, util::BytesPerSec(1e6), util::Seconds(-1.0), -1.0), std::invalid_argument);
 }
 
 TEST(MpcValidationTest, ConfigValidation) {

@@ -1,0 +1,8 @@
+// Fixture: threaded file with an uncommented mutex.
+#include <mutex>
+#include <thread>
+struct Fixture {
+  std::thread worker;
+  std::mutex lock;
+};
+void fixture() { PS360_CHECK(true); }

@@ -1,0 +1,7 @@
+// Fixture: detached thread.
+#include <thread>
+void fixture() {
+  std::thread worker([] {});
+  worker.detach();
+  PS360_CHECK(true);
+}

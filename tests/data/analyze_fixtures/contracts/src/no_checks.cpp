@@ -1,0 +1,2 @@
+// Fixture: public API entry with no input validation.
+int fixture(int x) { return x + 1; }

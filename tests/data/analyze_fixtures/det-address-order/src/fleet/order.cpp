@@ -1,0 +1,6 @@
+// Fixture: pointer hashing in a deterministic subsystem.
+#include <functional>
+void fixture(void* p) {
+  std::hash<void*> hasher;
+  PS360_CHECK(hasher(p) >= 0);
+}

@@ -1,0 +1,3 @@
+#include <cstddef>
+// A late comment does not count: the contract must open the file.
+void fixture() { PS360_CHECK(true); }

@@ -1,0 +1,6 @@
+// Fixture: locale read in a deterministic subsystem.
+#include <clocale>
+void fixture() {
+  setlocale(LC_ALL, "");
+  PS360_CHECK(true);
+}

@@ -1,0 +1,3 @@
+// Fixture: mutable static state in a deterministic subsystem.
+static int counter = 0;
+void fixture() { PS360_CHECK(++counter > 0); }

@@ -1,0 +1,6 @@
+// Fixture: unordered container in a deterministic subsystem.
+#include <unordered_map>
+void fixture() {
+  std::unordered_map<int, int> index;
+  PS360_CHECK(index.empty());
+}

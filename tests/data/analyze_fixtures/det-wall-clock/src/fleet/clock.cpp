@@ -1,0 +1,7 @@
+// Fixture: wall-clock read in a deterministic subsystem.
+#include <chrono>
+void fixture() {
+  auto t = std::chrono::steady_clock::now();
+  (void)t;
+  PS360_CHECK(true);
+}

@@ -1,0 +1,2 @@
+// Fixture: header with no include guard.
+struct MissingGuard {};

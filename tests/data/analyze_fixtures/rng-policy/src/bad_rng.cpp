@@ -1,0 +1,6 @@
+// Fixture: direct std::mt19937 outside util/rng.
+#include <random>
+void fixture() {
+  std::mt19937 rng(7);
+  PS360_CHECK(rng() >= 0);
+}

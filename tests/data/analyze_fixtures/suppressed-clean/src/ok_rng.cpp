@@ -1,0 +1,7 @@
+// Fixture: a real violation silenced by a justified suppression.
+#include <random>
+void fixture() {
+  // ps360-lint: allow(rng-policy) -- fixture: proves suppression works
+  std::mt19937 rng(7);
+  PS360_CHECK(rng() >= 0);
+}

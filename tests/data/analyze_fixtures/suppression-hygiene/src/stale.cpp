@@ -1,0 +1,3 @@
+// Fixture: a justified allow() that matches no finding.
+// ps360-lint: allow(rng-policy) -- fixture: nothing here uses an RNG
+void fixture() { PS360_CHECK(true); }

@@ -1,0 +1,3 @@
+// Fixture: raw double with a unit suffix in a public header.
+#pragma once
+void set_timeout(double timeout_s);

@@ -1,0 +1,4 @@
+// Fixture: file-level using-directive.
+#include <vector>
+using namespace std;
+void fixture() { PS360_CHECK(true); }

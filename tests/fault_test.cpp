@@ -141,7 +141,7 @@ TEST(FaultScheduleTest, AttemptFaultIsOrderInvariant) {
 TEST(FaultScheduleTest, OutageOverlapMatchesManualIntegral) {
   trace::FaultSchedule schedule(hostile_faults(), 42);
   const double t0 = 0.0, busy = 200.0;
-  const double overlap = schedule.outage_overlap(t0, busy);
+  const double overlap = schedule.outage_overlap(t0, util::Seconds(busy));
   // Manual check: total outage inside [t0, t0 + busy + overlap).
   double manual = 0.0;
   for (const auto& w : schedule.windows()) {
@@ -151,7 +151,7 @@ TEST(FaultScheduleTest, OutageOverlapMatchesManualIntegral) {
   }
   EXPECT_DOUBLE_EQ(overlap, manual);
   EXPECT_GT(overlap, 0.0);
-  EXPECT_DOUBLE_EQ(schedule.outage_overlap(t0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(schedule.outage_overlap(t0, util::Seconds(0.0)), 0.0);
 }
 
 TEST(FaultScheduleTest, DisabledScheduleIsInert) {
@@ -159,7 +159,7 @@ TEST(FaultScheduleTest, DisabledScheduleIsInert) {
   config.enabled = false;
   trace::FaultSchedule schedule(config, 7);
   EXPECT_FALSE(schedule.outage_at(100.0).has_value());
-  EXPECT_DOUBLE_EQ(schedule.outage_overlap(0.0, 1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(schedule.outage_overlap(0.0, util::Seconds(1000.0)), 0.0);
   for (std::size_t a = 1; a <= 8; ++a) {
     const auto fault = schedule.attempt_fault(3, a);
     EXPECT_FALSE(fault.lost);
@@ -215,7 +215,7 @@ TEST(RecoveryTest, BackoffSequenceIsCappedAndSeededDeterministic) {
     std::vector<double> backoffs;
     for (int i = 0; i < 10; ++i)
       backoffs.push_back(
-          client.report_download_failure(0.1, sim::FailureReason::kTimeout)
+          client.report_download_failure(util::Seconds(0.1), sim::FailureReason::kTimeout)
               .backoff_s);
     return backoffs;
   };
@@ -247,7 +247,8 @@ TEST(RecoveryTest, TimeoutAdvancesWallClockExactlyByDeadlinePlusBackoff) {
   client.plan_next();
   const double t0 = client.wall_time_s();
   const auto action = client.report_download_failure(
-      config.recovery.timeout_s, sim::FailureReason::kTimeout);
+      util::Seconds(config.recovery.timeout_s),
+      sim::FailureReason::kTimeout);
   EXPECT_DOUBLE_EQ(action.backoff_s, config.recovery.backoff_base_s);
   EXPECT_DOUBLE_EQ(client.wall_time_s(),
                    t0 + config.recovery.timeout_s + action.backoff_s);
@@ -268,7 +269,7 @@ TEST(RecoveryTest, DegradationLadderShrinksRequestsAndTerminates) {
   double last_estimate = request->bandwidth_estimate_bps;
   for (int i = 0; i < 20; ++i) {
     const auto action =
-        client.report_download_failure(0.5, sim::FailureReason::kLost);
+        client.report_download_failure(util::Seconds(0.5), sim::FailureReason::kLost);
     if (action.degrade) {
       const sim::ClientRequest degraded = client.replan_degraded();
       // Each step plans against a strictly smaller bandwidth estimate and
@@ -287,7 +288,7 @@ TEST(RecoveryTest, DegradationLadderShrinksRequestsAndTerminates) {
   EXPECT_EQ(client.degrade_level(), config.recovery.max_degrade_steps);
 
   // The degraded request still completes and resets the recovery state.
-  client.complete_download(0.5);
+  client.complete_download(util::Seconds(0.5));
   EXPECT_EQ(client.attempts(), 0u);
   EXPECT_EQ(client.degrade_level(), 0u);
 }
@@ -299,10 +300,10 @@ TEST(RecoveryTest, FinalAttemptIsFlaggedBeforeTheCeiling) {
   auto client = fixture.make_client(config);
   client.plan_next();
   const auto first =
-      client.report_download_failure(0.1, sim::FailureReason::kTimeout);
+      client.report_download_failure(util::Seconds(0.1), sim::FailureReason::kTimeout);
   EXPECT_FALSE(first.final_attempt);  // attempt 2 may still fail
   const auto second =
-      client.report_download_failure(0.1, sim::FailureReason::kTimeout);
+      client.report_download_failure(util::Seconds(0.1), sim::FailureReason::kTimeout);
   EXPECT_TRUE(second.final_attempt);  // attempt 3 is the guaranteed one
 }
 
@@ -311,16 +312,16 @@ TEST(RecoveryTest, MisuseThrowsWithoutCorruptingState) {
   auto client = fixture.make_client();
 
   // Reporting a failure (or degrading) with no download in flight throws…
-  EXPECT_THROW(client.report_download_failure(1.0, sim::FailureReason::kLost),
+  EXPECT_THROW(client.report_download_failure(util::Seconds(1.0), sim::FailureReason::kLost),
                std::invalid_argument);
   EXPECT_THROW(client.replan_degraded(), std::invalid_argument);
 
   // …and the client still runs a full clean session afterwards.
   std::size_t planned = 0;
   while (auto request = client.plan_next()) {
-    EXPECT_THROW(client.report_download_failure(-1.0, sim::FailureReason::kLost),
+    EXPECT_THROW(client.report_download_failure(util::Seconds(-1.0), sim::FailureReason::kLost),
                  std::invalid_argument);  // negative elapsed rejected
-    client.complete_download(0.4);
+    client.complete_download(util::Seconds(0.4));
     ++planned;
   }
   EXPECT_EQ(planned, fixture.workload->segment_count());
@@ -331,7 +332,7 @@ TEST(RecoveryTest, MisuseThrowsWithoutCorruptingState) {
 
 TEST(FaultDifferentialTest, DisabledFaultLayerIsBitIdenticalPerScheme) {
   const sim::VideoWorkload& workload = test_workload();
-  const auto traces = trace::make_paper_traces(/*seed=*/7, 300.0);
+  const auto traces = trace::make_paper_traces(/*seed=*/7, util::Seconds(300.0));
 
   // Baseline: the default config (fault fields untouched).
   // Candidate: faults disabled but every fault/recovery knob set to hostile
@@ -355,7 +356,7 @@ TEST(FaultDifferentialTest, DisabledFaultLayerIsBitIdenticalPerScheme) {
 
 TEST(FaultSessionTest, EverySchemeCompletesUnderHostileFaults) {
   const sim::VideoWorkload& workload = test_workload();
-  const auto traces = trace::make_paper_traces(/*seed=*/7, 300.0);
+  const auto traces = trace::make_paper_traces(/*seed=*/7, util::Seconds(300.0));
   sim::SessionConfig config;
   config.faults = hostile_faults();
 
@@ -372,7 +373,7 @@ TEST(FaultSessionTest, EverySchemeCompletesUnderHostileFaults) {
 
 TEST(FaultSessionTest, TotalLossStillTerminatesViaTheFinalAttempt) {
   const sim::VideoWorkload& workload = test_workload();
-  const auto traces = trace::make_paper_traces(/*seed=*/7, 300.0);
+  const auto traces = trace::make_paper_traces(/*seed=*/7, util::Seconds(300.0));
   sim::SessionConfig config;
   config.faults.enabled = true;
   config.faults.outage_spacing_s = 0.0;  // no outages, pure loss
@@ -399,7 +400,7 @@ TEST(FaultSessionTest, TotalLossStillTerminatesViaTheFinalAttempt) {
 
 TEST(FaultSessionTest, CountersAreNonzeroAndReproduciblePerSeed) {
   const sim::VideoWorkload& workload = test_workload();
-  const auto traces = trace::make_paper_traces(/*seed=*/7, 300.0);
+  const auto traces = trace::make_paper_traces(/*seed=*/7, util::Seconds(300.0));
   sim::SessionConfig config;
   config.faults = hostile_faults();
 
@@ -435,7 +436,7 @@ TEST(FaultSessionTest, CountersAreNonzeroAndReproduciblePerSeed) {
 
 TEST(FaultDifferentialTest, FleetDisabledFaultLayerIsBitIdentical) {
   const sim::VideoWorkload& workload = test_workload();
-  const auto traces = trace::make_paper_traces(/*seed=*/11, 300.0);
+  const auto traces = trace::make_paper_traces(/*seed=*/11, util::Seconds(300.0));
 
   fleet::FleetConfig baseline;
   baseline.sessions = 6;
@@ -465,7 +466,7 @@ TEST(FaultDifferentialTest, FleetDisabledFaultLayerIsBitIdentical) {
 
 TEST(FaultFleetTest, EverySchemeCompletesUnderHostileFaults) {
   const sim::VideoWorkload& workload = test_workload();
-  const auto traces = trace::make_paper_traces(/*seed=*/11, 300.0);
+  const auto traces = trace::make_paper_traces(/*seed=*/11, util::Seconds(300.0));
 
   for (const sim::SchemeKind scheme : kAllSchemes) {
     fleet::FleetConfig config;
@@ -489,7 +490,7 @@ TEST(FaultFleetTest, EverySchemeCompletesUnderHostileFaults) {
 
 TEST(FaultFleetTest, FleetCountersAreNonzeroUnderFaults) {
   const sim::VideoWorkload& workload = test_workload();
-  const auto traces = trace::make_paper_traces(/*seed=*/11, 300.0);
+  const auto traces = trace::make_paper_traces(/*seed=*/11, util::Seconds(300.0));
 
   obs::MetricsRegistry metrics;
   obs::EventTracer tracer(1 << 16);

@@ -39,7 +39,7 @@ const Comparison& comparison(std::size_t video_index, int trace_id) {
                                                WorkloadConfig{}))
                 .first;
     }
-    static const auto traces = trace::make_paper_traces(7, 700.0);
+    static const auto traces = trace::make_paper_traces(7, util::Seconds(700.0));
     const trace::NetworkTrace& net = trace_id == 1 ? traces.first : traces.second;
     Comparison cmp;
     for (SchemeKind kind : all_schemes()) {
@@ -170,7 +170,7 @@ TEST(DeviceShape, SavingsHoldAcrossAllThreePhones) {
   // Fig. 10: the Nexus 5X and Galaxy S20 show the same ordering as Pixel 3.
   static const VideoWorkload workload(trace::test_videos()[kFocusedVideo],
                                       WorkloadConfig{});
-  static const auto traces = trace::make_paper_traces(7, 700.0);
+  static const auto traces = trace::make_paper_traces(7, util::Seconds(700.0));
   for (power::Device device : power::kAllDevices) {
     SessionConfig config;
     config.device = device;

@@ -75,9 +75,9 @@ TEST_P(SolverDifferential, DecideMatchesExhaustive) {
       rng.bernoulli(0.5) ? rng.uniform(0.0, 0.3) : rng.uniform(0.0, 4.0);
   const double prev_qo = rng.bernoulli(0.25) ? -1.0 : rng.uniform(0.0, 100.0);
 
-  const MpcDecision dp = controller.decide(horizon, bandwidth, buffer, prev_qo);
+  const MpcDecision dp = controller.decide(horizon, util::BytesPerSec(bandwidth), util::Seconds(buffer), prev_qo);
   const MpcDecision brute =
-      controller.decide_exhaustive(horizon, bandwidth, buffer, prev_qo);
+      controller.decide_exhaustive(horizon, util::BytesPerSec(bandwidth), util::Seconds(buffer), prev_qo);
 
   const double tol = 1e-9 * std::max(1.0, std::fabs(brute.objective));
   EXPECT_NEAR(dp.objective, brute.objective, tol)
@@ -129,7 +129,7 @@ TEST_P(ScratchReuse, SteadyStateDecideDoesNotReallocate) {
 
   // Warm up with the largest shape this test will ever solve.
   const auto big = fixed_horizon(20, 20, 7);
-  (void)controller.decide(big, 5e5, 2.5, 50.0);
+  (void)controller.decide(big, util::BytesPerSec(5e5), util::Seconds(2.5), 50.0);
 
   const std::size_t capacity = controller.scratch_capacity_bytes();
   const std::uint64_t grows = controller.scratch_grow_events();
@@ -141,9 +141,9 @@ TEST_P(ScratchReuse, SteadyStateDecideDoesNotReallocate) {
   // must never grow the arena again.
   const auto small = fixed_horizon(3, 5, 11);
   for (int rep = 0; rep < 100; ++rep) {
-    (void)controller.decide(big, 5e5, 2.5, 50.0);
-    (void)controller.decide(small, 2e5, 0.0, -1.0);
-    (void)controller.decide(big, 1e3, 0.0, 50.0);  // hopeless: fallback path
+    (void)controller.decide(big, util::BytesPerSec(5e5), util::Seconds(2.5), 50.0);
+    (void)controller.decide(small, util::BytesPerSec(2e5), util::Seconds(0.0), -1.0);
+    (void)controller.decide(big, util::BytesPerSec(1e3), util::Seconds(0.0), 50.0);  // hopeless: fallback path
   }
   EXPECT_EQ(controller.scratch_capacity_bytes(), capacity);
   EXPECT_EQ(controller.scratch_grow_events(), grows);
@@ -156,18 +156,18 @@ INSTANTIATE_TEST_SUITE_P(BothObjectives, ScratchReuse, ::testing::Bool());
 TEST(BufferModelDenseTest, BucketCountCoversRoundedUpCap) {
   // cap = 4 s, quantum 0.6 s: quantize(4.0) rounds to 4.2 (bucket 7), so the
   // grid must have 8 states — a floor-based count would be overrun.
-  const BufferModel model(1.0, 3.0, 0.6);
-  EXPECT_DOUBLE_EQ(model.quantize(4.0), 4.2);
-  EXPECT_EQ(model.bucket_of(4.0), 7);
+  const BufferModel model(util::Seconds(1.0), util::Seconds(3.0), util::Seconds(0.6));
+  EXPECT_DOUBLE_EQ(model.quantize(util::Seconds(4.0)), 4.2);
+  EXPECT_EQ(model.bucket_of(util::Seconds(4.0)), 7);
   EXPECT_EQ(model.bucket_count(), 8u);
   EXPECT_DOUBLE_EQ(model.level_of(7), 4.2);
 }
 
 TEST(BufferModelDenseTest, LevelOfInvertsBucketOfOnTheGrid) {
-  const BufferModel model(1.0, 3.0, 0.5);
+  const BufferModel model(util::Seconds(1.0), util::Seconds(3.0), util::Seconds(0.5));
   for (std::size_t b = 0; b < model.bucket_count(); ++b) {
     const double level = model.level_of(static_cast<int>(b));
-    EXPECT_EQ(model.bucket_of(level), static_cast<int>(b));
+    EXPECT_EQ(model.bucket_of(util::Seconds(level)), static_cast<int>(b));
   }
   EXPECT_THROW(model.level_of(-1), std::invalid_argument);
   EXPECT_THROW(model.level_of(static_cast<int>(model.bucket_count())),

@@ -52,7 +52,7 @@ void expect_bit_identical(const sim::SessionResult& a, const sim::SessionResult&
 
 TEST(ObsDifferentialTest, SessionResultsAreBitIdenticalObserverOnVsOff) {
   const sim::VideoWorkload& workload = test_workload();
-  const auto traces = trace::make_paper_traces(/*seed=*/7, 300.0);
+  const auto traces = trace::make_paper_traces(/*seed=*/7, util::Seconds(300.0));
   const sim::SessionConfig config;
 
   for (const sim::SchemeKind scheme :
@@ -73,7 +73,7 @@ TEST(ObsDifferentialTest, SessionResultsAreBitIdenticalObserverOnVsOff) {
 
 TEST(ObsDifferentialTest, SessionObserverRecordsTheLoopFaithfully) {
   const sim::VideoWorkload& workload = test_workload();
-  const auto traces = trace::make_paper_traces(/*seed=*/7, 300.0);
+  const auto traces = trace::make_paper_traces(/*seed=*/7, util::Seconds(300.0));
   const sim::SessionConfig config;
 
   obs::MetricsRegistry metrics;
@@ -112,7 +112,7 @@ TEST(ObsDifferentialTest, SessionObserverRecordsTheLoopFaithfully) {
 
 TEST(ObsDifferentialTest, FleetResultsAreBitIdenticalObserverOnVsOff) {
   const sim::VideoWorkload& workload = test_workload();
-  const auto traces = trace::make_paper_traces(/*seed=*/11, 300.0);
+  const auto traces = trace::make_paper_traces(/*seed=*/11, util::Seconds(300.0));
 
   fleet::FleetConfig config;
   config.sessions = 6;

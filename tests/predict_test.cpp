@@ -124,22 +124,22 @@ TEST(ViewportPredictorTest, ConfigValidation) {
 // ------------------------------------------------------ HarmonicEstimator
 
 TEST(HarmonicEstimatorTest, PriorBeforeObservations) {
-  const HarmonicMeanEstimator estimator(5, 123.0);
+  const HarmonicMeanEstimator estimator(5, util::BytesPerSec(123.0));
   EXPECT_DOUBLE_EQ(estimator.estimate(), 123.0);
 }
 
 TEST(HarmonicEstimatorTest, HarmonicMeanOfWindow) {
   HarmonicMeanEstimator estimator(3);
-  estimator.observe(2.0);
-  estimator.observe(4.0);
+  estimator.observe(util::BytesPerSec(2.0));
+  estimator.observe(util::BytesPerSec(4.0));
   EXPECT_DOUBLE_EQ(estimator.estimate(), 2.0 / (1.0 / 2.0 + 1.0 / 4.0));
 }
 
 TEST(HarmonicEstimatorTest, WindowEvictsOldest) {
   HarmonicMeanEstimator estimator(2);
-  estimator.observe(1.0);
-  estimator.observe(10.0);
-  estimator.observe(10.0);  // evicts the 1.0
+  estimator.observe(util::BytesPerSec(1.0));
+  estimator.observe(util::BytesPerSec(10.0));
+  estimator.observe(util::BytesPerSec(10.0));  // evicts the 1.0
   EXPECT_DOUBLE_EQ(estimator.estimate(), 10.0);
   EXPECT_EQ(estimator.observations(), 2u);
 }
@@ -147,15 +147,16 @@ TEST(HarmonicEstimatorTest, WindowEvictsOldest) {
 TEST(HarmonicEstimatorTest, DampsSpikesVsArithmeticMean) {
   HarmonicMeanEstimator estimator(5);
   const std::vector<double> rates = {4.0, 4.0, 4.0, 4.0, 40.0};
-  for (double r : rates) estimator.observe(r);
+  for (double r : rates) estimator.observe(util::BytesPerSec(r));
   EXPECT_LT(estimator.estimate(), util::mean(rates));
 }
 
 TEST(HarmonicEstimatorTest, RejectsInvalid) {
   EXPECT_THROW(HarmonicMeanEstimator(0), std::invalid_argument);
-  EXPECT_THROW(HarmonicMeanEstimator(5, 0.0), std::invalid_argument);
+  EXPECT_THROW(HarmonicMeanEstimator(5, util::BytesPerSec(0.0)),
+               std::invalid_argument);
   HarmonicMeanEstimator estimator(5);
-  EXPECT_THROW(estimator.observe(0.0), std::invalid_argument);
+  EXPECT_THROW(estimator.observe(util::BytesPerSec(0.0)), std::invalid_argument);
 }
 
 // A non-positive rate must not poison the harmonic mean (1/0 would make the
@@ -163,9 +164,9 @@ TEST(HarmonicEstimatorTest, RejectsInvalid) {
 // keeps its previous state intact.
 TEST(HarmonicEstimatorTest, NonPositiveRateDoesNotPoisonState) {
   HarmonicMeanEstimator estimator(5);
-  estimator.observe(8.0);
-  EXPECT_THROW(estimator.observe(0.0), std::invalid_argument);
-  EXPECT_THROW(estimator.observe(-4.0), std::invalid_argument);
+  estimator.observe(util::BytesPerSec(8.0));
+  EXPECT_THROW(estimator.observe(util::BytesPerSec(0.0)), std::invalid_argument);
+  EXPECT_THROW(estimator.observe(util::BytesPerSec(-4.0)), std::invalid_argument);
   EXPECT_EQ(estimator.observations(), 1u);
   EXPECT_DOUBLE_EQ(estimator.estimate(), 8.0);
 }
@@ -194,8 +195,8 @@ TEST(PredictorKindTest, LinearTracksRampHoldDoesNot) {
   const auto linear = predict_with(PredictorKind::kLinear, trace, 5.0, 6.0);
   EXPECT_NEAR(linear.x, 220.0, 1.0);
   const double err_linear =
-      mean_prediction_error(PredictorKind::kLinear, trace, 1.0);
-  const double err_hold = mean_prediction_error(PredictorKind::kHold, trace, 1.0);
+      mean_prediction_error(PredictorKind::kLinear, trace, util::Seconds(1.0));
+  const double err_hold = mean_prediction_error(PredictorKind::kHold, trace, util::Seconds(1.0));
   EXPECT_LT(err_linear, err_hold);
 }
 
@@ -206,9 +207,9 @@ TEST(PredictorKindTest, RidgeCompetitiveOnRealTraces) {
   double ridge = 0.0, linear = 0.0, hold = 0.0;
   for (int u = 0; u < 3; ++u) {
     const auto head = synth.synthesize(trace::test_videos()[7], u);
-    ridge += mean_prediction_error(PredictorKind::kRidge, head, 1.0, 2.0);
-    linear += mean_prediction_error(PredictorKind::kLinear, head, 1.0, 2.0);
-    hold += mean_prediction_error(PredictorKind::kHold, head, 1.0, 2.0);
+    ridge += mean_prediction_error(PredictorKind::kRidge, head, util::Seconds(1.0), util::Seconds(2.0));
+    linear += mean_prediction_error(PredictorKind::kLinear, head, util::Seconds(1.0), util::Seconds(2.0));
+    hold += mean_prediction_error(PredictorKind::kHold, head, util::Seconds(1.0), util::Seconds(2.0));
   }
   EXPECT_LT(ridge, linear * 1.05);
   EXPECT_LT(ridge, hold * 1.3);
@@ -218,10 +219,10 @@ TEST(PredictorKindTest, OracleIsExactAndBeatsEveryone) {
   EXPECT_EQ(predictor_name(PredictorKind::kOracle), "oracle");
   const trace::HeadTraceSynthesizer synth;
   const auto head = synth.synthesize(trace::test_videos()[7], 1);
-  EXPECT_NEAR(mean_prediction_error(PredictorKind::kOracle, head, 1.0, 2.0), 0.0,
+  EXPECT_NEAR(mean_prediction_error(PredictorKind::kOracle, head, util::Seconds(1.0), util::Seconds(2.0)), 0.0,
               1e-9);
-  EXPECT_LT(mean_prediction_error(PredictorKind::kOracle, head, 1.0, 2.0),
-            mean_prediction_error(PredictorKind::kRidge, head, 1.0, 2.0));
+  EXPECT_LT(mean_prediction_error(PredictorKind::kOracle, head, util::Seconds(1.0), util::Seconds(2.0)),
+            mean_prediction_error(PredictorKind::kRidge, head, util::Seconds(1.0), util::Seconds(2.0)));
 }
 
 TEST(PredictorKindTest, ConfigFactoryShapes) {
@@ -238,18 +239,18 @@ TEST(PredictorKindTest, ConfigFactoryShapes) {
 
 TEST(BandwidthEstimatorsTest, LastFollowsLatestObservation) {
   const auto est = make_bandwidth_estimator(BandwidthEstimatorKind::kLast);
-  est->observe(100.0);
-  est->observe(250.0);
+  est->observe(util::BytesPerSec(100.0));
+  est->observe(util::BytesPerSec(250.0));
   EXPECT_DOUBLE_EQ(est->estimate(), 250.0);
 }
 
 TEST(BandwidthEstimatorsTest, MeanVsHarmonicOnSpikyInput) {
-  const auto mean = make_bandwidth_estimator(BandwidthEstimatorKind::kMean, 5, 1.0);
+  const auto mean = make_bandwidth_estimator(BandwidthEstimatorKind::kMean, 5, util::BytesPerSec(1.0));
   const auto harmonic =
-      make_bandwidth_estimator(BandwidthEstimatorKind::kHarmonic, 5, 1.0);
+      make_bandwidth_estimator(BandwidthEstimatorKind::kHarmonic, 5, util::BytesPerSec(1.0));
   for (double r : {4.0, 4.0, 4.0, 4.0, 40.0}) {
-    mean->observe(r);
-    harmonic->observe(r);
+    mean->observe(util::BytesPerSec(r));
+    harmonic->observe(util::BytesPerSec(r));
   }
   // The harmonic mean damps the spike (the paper's rationale).
   EXPECT_LT(harmonic->estimate(), mean->estimate());
@@ -258,21 +259,21 @@ TEST(BandwidthEstimatorsTest, MeanVsHarmonicOnSpikyInput) {
 
 TEST(BandwidthEstimatorsTest, EwmaConvergesGeometrically) {
   const auto ewma =
-      make_bandwidth_estimator(BandwidthEstimatorKind::kEwma, 5, 1.0, 0.5);
-  ewma->observe(100.0);  // first observation seeds directly
+      make_bandwidth_estimator(BandwidthEstimatorKind::kEwma, 5, util::BytesPerSec(1.0), 0.5);
+  ewma->observe(util::BytesPerSec(100.0));  // first observation seeds directly
   EXPECT_DOUBLE_EQ(ewma->estimate(), 100.0);
-  ewma->observe(200.0);
+  ewma->observe(util::BytesPerSec(200.0));
   EXPECT_DOUBLE_EQ(ewma->estimate(), 150.0);
-  ewma->observe(200.0);
+  ewma->observe(util::BytesPerSec(200.0));
   EXPECT_DOUBLE_EQ(ewma->estimate(), 175.0);
 }
 
 TEST(BandwidthEstimatorsTest, AllReturnPriorBeforeData) {
   for (std::size_t k = 0; k < kBandwidthEstimatorKindCount; ++k) {
     const auto kind = static_cast<BandwidthEstimatorKind>(k);
-    const auto est = make_bandwidth_estimator(kind, 5, 777.0);
+    const auto est = make_bandwidth_estimator(kind, 5, util::BytesPerSec(777.0));
     EXPECT_DOUBLE_EQ(est->estimate(), 777.0) << bandwidth_estimator_name(kind);
-    EXPECT_THROW(est->observe(0.0), std::invalid_argument);
+    EXPECT_THROW(est->observe(util::BytesPerSec(0.0)), std::invalid_argument);
   }
 }
 

@@ -28,31 +28,31 @@ TEST(QoModelTest, LogisticKnownValue) {
   const QoModel model;
   // z = c1 + c2*50 + c3*25 + c4*4 = -0.2163 + 2.905 - 3.945 + 3.1284.
   const double z = -0.2163 + 0.0581 * 50.0 - 0.1578 * 25.0 + 0.7821 * 4.0;
-  EXPECT_NEAR(model.qo(50.0, 25.0, 4.0), 100.0 / (1.0 + std::exp(-z)), 1e-9);
+  EXPECT_NEAR(model.qo(50.0, 25.0, util::Mbps(4.0)), 100.0 / (1.0 + std::exp(-z)), 1e-9);
 }
 
 TEST(QoModelTest, MonotoneInRegressors) {
   const QoModel model;
   // More bitrate -> better; more spatial detail -> better; more motion at a
   // fixed bitrate -> worse (c3 < 0).
-  EXPECT_GT(model.qo(50.0, 25.0, 5.0), model.qo(50.0, 25.0, 2.0));
-  EXPECT_GT(model.qo(70.0, 25.0, 3.0), model.qo(40.0, 25.0, 3.0));
-  EXPECT_LT(model.qo(50.0, 50.0, 3.0), model.qo(50.0, 20.0, 3.0));
+  EXPECT_GT(model.qo(50.0, 25.0, util::Mbps(5.0)), model.qo(50.0, 25.0, util::Mbps(2.0)));
+  EXPECT_GT(model.qo(70.0, 25.0, util::Mbps(3.0)), model.qo(40.0, 25.0, util::Mbps(3.0)));
+  EXPECT_LT(model.qo(50.0, 50.0, util::Mbps(3.0)), model.qo(50.0, 20.0, util::Mbps(3.0)));
 }
 
 TEST(QoModelTest, BoundedInZeroHundred) {
   const QoModel model;
-  EXPECT_GT(model.qo(10.0, 80.0, 0.0), 0.0);
-  EXPECT_LT(model.qo(90.0, 2.0, 10.0), 100.0);
+  EXPECT_GT(model.qo(10.0, 80.0, util::Mbps(0.0)), 0.0);
+  EXPECT_LT(model.qo(90.0, 2.0, util::Mbps(10.0)), 100.0);
   // Saturation at absurd bitrates rounds to exactly 100 in double precision
   // but never exceeds it.
-  EXPECT_LE(model.qo(90.0, 2.0, 1000.0), 100.0);
+  EXPECT_LE(model.qo(90.0, 2.0, util::Mbps(1000.0)), 100.0);
 }
 
 TEST(QoModelTest, BitrateScaleApplied) {
   const QoModel unscaled(QoParams{}, 1.0);
   const QoModel scaled(QoParams{}, 2.0);
-  EXPECT_NEAR(scaled.qo(50.0, 25.0, 2.0), unscaled.qo(50.0, 25.0, 4.0), 1e-12);
+  EXPECT_NEAR(scaled.qo(50.0, 25.0, util::Mbps(2.0)), unscaled.qo(50.0, 25.0, util::Mbps(4.0)), 1e-12);
   EXPECT_THROW(QoModel(QoParams{}, 0.0), std::invalid_argument);
 }
 
@@ -88,13 +88,13 @@ TEST(FrameRateFactorTest, SmallAlphaLimitIsFrameRatio) {
 
 TEST(FrameRateFactorTest, AlphaFromEq4) {
   // alpha = gain * S_fov / TI; with unit gain this is Eq. 4 verbatim.
-  EXPECT_NEAR(QoModel::alpha(30.0, 10.0, 1.0), 3.0, 1e-12);
-  EXPECT_NEAR(QoModel::alpha(5.0, 50.0, 1.0), 0.1, 1e-12);
+  EXPECT_NEAR(QoModel::alpha(util::DegPerSec(30.0), 10.0, 1.0), 3.0, 1e-12);
+  EXPECT_NEAR(QoModel::alpha(util::DegPerSec(5.0), 50.0, 1.0), 0.1, 1e-12);
   // The default gain rescales to our TI units.
-  EXPECT_NEAR(QoModel::alpha(30.0, 10.0), 3.0 * QoModel::kDefaultAlphaGain, 1e-9);
+  EXPECT_NEAR(QoModel::alpha(util::DegPerSec(30.0), 10.0), 3.0 * QoModel::kDefaultAlphaGain, 1e-9);
   // Clamped away from zero for a static gaze.
-  EXPECT_GT(QoModel::alpha(0.0, 10.0), 0.0);
-  EXPECT_THROW(QoModel::alpha(1.0, 0.0), std::invalid_argument);
+  EXPECT_GT(QoModel::alpha(util::DegPerSec(0.0), 10.0), 0.0);
+  EXPECT_THROW(QoModel::alpha(util::DegPerSec(1.0), 0.0), std::invalid_argument);
 }
 
 // Property sweep: the frame-rate factor is monotone increasing in alpha at
@@ -119,9 +119,9 @@ INSTANTIATE_TEST_SUITE_P(Ratios, FrameFactorProperty,
 
 TEST(QoModelTest, QoWithFrameRateComposes) {
   const QoModel model;
-  const double base = model.qo(50.0, 25.0, 4.0);
-  const double adjusted = model.qo_with_frame_rate(50.0, 25.0, 4.0, 30.0, 0.7);
-  const double factor = QoModel::frame_rate_factor(QoModel::alpha(30.0, 25.0), 0.7);
+  const double base = model.qo(50.0, 25.0, util::Mbps(4.0));
+  const double adjusted = model.qo_with_frame_rate(50.0, 25.0, util::Mbps(4.0), util::DegPerSec(30.0), 0.7);
+  const double factor = QoModel::frame_rate_factor(QoModel::alpha(util::DegPerSec(30.0), 25.0), 0.7);
   EXPECT_NEAR(adjusted, base * factor, 1e-9);
 }
 

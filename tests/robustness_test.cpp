@@ -158,7 +158,7 @@ class EstimatorSweep
 TEST_P(EstimatorSweep, EveryBandwidthEstimatorCompletesSessions) {
   SessionConfig config;
   config.bandwidth_kind = GetParam();
-  const trace::NetworkTrace net = trace::make_paper_traces(7, 200.0).second;
+  const trace::NetworkTrace net = trace::make_paper_traces(7, util::Seconds(200.0)).second;
   const auto result =
       simulate_session(tiny_workload(), 0, SchemeKind::kOurs, net, config);
   EXPECT_EQ(result.segments.size(), tiny_workload().segment_count());
@@ -176,7 +176,7 @@ class PredictorSweep : public ::testing::TestWithParam<predict::PredictorKind> {
 TEST_P(PredictorSweep, EveryPredictorCompletesSessions) {
   SessionConfig config;
   config.predictor_kind = GetParam();
-  const trace::NetworkTrace net = trace::make_paper_traces(7, 200.0).second;
+  const trace::NetworkTrace net = trace::make_paper_traces(7, util::Seconds(200.0)).second;
   const auto result =
       simulate_session(tiny_workload(), 0, SchemeKind::kOurs, net, config);
   EXPECT_EQ(result.segments.size(), tiny_workload().segment_count());
@@ -231,7 +231,7 @@ TEST(EvaluationGridTest, AccessorsAndMetrics) {
 // ------------------------------------------------------------- CSV export
 
 TEST(SessionExportTest, RoundTripPreservesRecordsAndAggregates) {
-  const trace::NetworkTrace net = trace::make_paper_traces(7, 200.0).second;
+  const trace::NetworkTrace net = trace::make_paper_traces(7, util::Seconds(200.0)).second;
   const auto original =
       simulate_session(tiny_workload(), 0, SchemeKind::kOurs, net, SessionConfig{});
   const auto path = std::filesystem::temp_directory_path() / "ps360_session.csv";

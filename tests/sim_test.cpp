@@ -20,12 +20,12 @@ const VideoWorkload& football_workload() {
 }
 
 const trace::NetworkTrace& trace1() {
-  static const trace::NetworkTrace t = trace::make_paper_traces(7, 400.0).first;
+  static const trace::NetworkTrace t = trace::make_paper_traces(7, util::Seconds(400.0)).first;
   return t;
 }
 
 const trace::NetworkTrace& trace2() {
-  static const trace::NetworkTrace t = trace::make_paper_traces(7, 400.0).second;
+  static const trace::NetworkTrace t = trace::make_paper_traces(7, util::Seconds(400.0)).second;
   return t;
 }
 
@@ -112,7 +112,7 @@ struct PlannerFixture {
         football_workload().test_trace(0).center_at(static_cast<double>(segment));
     const geometry::Viewport predicted(center, geometry::Degrees(120.0),
                                        geometry::Degrees(120.0));
-    return scheme->plan(segment, predicted, 10.0, bandwidth, buffer, -1.0);
+    return scheme->plan(segment, predicted, 10.0, util::BytesPerSec(bandwidth), util::Seconds(buffer), -1.0);
   }
 
   video::EncodingModel encoding;
@@ -200,7 +200,7 @@ TEST(SchemeTest, PtileFallsBackToConventionalTilesWhenUncovered) {
       geometry::EquirectPoint::make(geometry::Degrees(far_lon),
                                     geometry::Degrees(90.0)),
       geometry::Degrees(120.0), geometry::Degrees(120.0));
-  const auto plan = scheme->plan(10, away, 10.0, 600e3, 3.0, -1.0);
+  const auto plan = scheme->plan(10, away, 10.0, util::BytesPerSec(600e3), util::Seconds(3.0), -1.0);
   EXPECT_FALSE(plan.used_ptile);
   EXPECT_EQ(plan.option.profile, power::DecodeProfile::kCtile);
 }
@@ -267,9 +267,9 @@ TEST(SchemeTest, OursUsesReducedFramesUnderFastSwitching) {
   const geometry::Viewport predicted(center, geometry::Degrees(120.0),
                                        geometry::Degrees(120.0));
   // Very fast switching -> large alpha -> frame reduction is nearly free.
-  const auto fast = scheme->plan(10, predicted, 60.0, 600e3, 3.0, -1.0);
+  const auto fast = scheme->plan(10, predicted, 60.0, util::BytesPerSec(600e3), util::Seconds(3.0), -1.0);
   // Static gaze -> frame reduction costs full QoE -> full rate retained.
-  const auto still = scheme->plan(10, predicted, 0.0, 600e3, 3.0, -1.0);
+  const auto still = scheme->plan(10, predicted, 0.0, util::BytesPerSec(600e3), util::Seconds(3.0), -1.0);
   if (fast.used_ptile && still.used_ptile) {
     EXPECT_LE(fast.option.fps, still.option.fps);
     EXPECT_DOUBLE_EQ(still.frame_ratio, 1.0);

@@ -249,7 +249,7 @@ TEST(NetworkTraceTest, ScaledMultipliesRates) {
 
 TEST(NetworkTraceTest, SynthesizedTraceMatchesPaperStatistics) {
   // Trace 2: average 3.9 Mbps, varying between 2.3 and 8.4 Mbps.
-  const auto [trace1, trace2] = make_paper_traces(7, 600.0);
+  const auto [trace1, trace2] = make_paper_traces(7, util::Seconds(600.0));
   const auto rates = trace2.rates_mbps();
   EXPECT_NEAR(util::mean(rates), 3.9, 0.5);
   EXPECT_GE(*std::min_element(rates.begin(), rates.end()), 2.3 - 1e-9);

@@ -1,0 +1,36 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is a JSON file of content fingerprints
+(`check-id:path:sha1[:12]-of-line:ordinal`). A finding whose fingerprint
+appears in the baseline is reported as grandfathered and does not fail the
+run; anything new does. `--update-baseline` rewrites the file from the
+current findings. The goal is an empty baseline: entries are debts, not
+permissions — new code never adds one (use an inline suppression with a
+justification instead, which is reviewable at the line it excuses).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+BASELINE_VERSION = 1
+
+
+def load(path: pathlib.Path) -> set[str]:
+    if not path.is_file():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {data.get('version')!r}"
+        )
+    return set(data.get("findings", []))
+
+
+def save(path: pathlib.Path, fingerprints: set[str]) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": sorted(fingerprints),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

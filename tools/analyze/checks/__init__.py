@@ -1,0 +1,11 @@
+"""Check modules register themselves on import."""
+
+from __future__ import annotations
+
+from . import concurrency  # noqa: F401
+from . import contracts  # noqa: F401
+from . import determinism  # noqa: F401
+from . import hygiene  # noqa: F401
+from . import rng  # noqa: F401
+from . import suppression  # noqa: F401
+from . import units  # noqa: F401

@@ -1,0 +1,35 @@
+"""Input validation: every src/ translation unit checks its contracts.
+
+The granularity is per-file: a .cpp under src/ that never invokes
+PS360_CHECK / PS360_ASSERT (util/check.h) has public entry points that
+accept anything. Files whose entire API is genuinely total (no invalid
+inputs exist) carry an inline suppression with that justification.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .. import config
+from ..context import Finding, RepoContext
+from ..registry import Check, register
+
+
+@register
+class ContractChecks(Check):
+    id = "contracts"
+    description = (
+        "every .cpp under src/ validates inputs with PS360_CHECK / "
+        "PS360_ASSERT or carries a justified suppression"
+    )
+
+    def run(self, ctx: RepoContext) -> Iterable[Finding]:
+        for sf in ctx.sources(under=(config.CONTRACT_DIR,), suffixes=(".cpp",)):
+            if "PS360_CHECK" in sf.raw or "PS360_ASSERT" in sf.raw:
+                continue
+            yield self.finding(
+                sf.rel,
+                None,
+                "no PS360_CHECK/PS360_ASSERT; public API entries under src/ "
+                "must validate their inputs (util/check.h)",
+            )

@@ -1,0 +1,172 @@
+"""Determinism discipline for replayable subsystems.
+
+src/fleet, src/obs, src/trace, and src/sim must produce bit-identical
+output across reruns, schemes, and PS360_THREADS (the fleet differential
+tests prove it dynamically; these checks catch the classic ways to break it
+at review time):
+
+  det-wall-clock       wall-clock reads make identical runs stamp different
+                       artifacts — simulated time only
+  det-locale           locale/calendar formatting varies by environment
+  det-static-state     mutable static/namespace-scope state leaks across
+                       sessions and replications and races under threads
+  det-unordered        unordered_{map,set} iteration order is unspecified;
+                       anything it feeds (output, accumulation) is
+                       nondeterministic across libraries and ASLR runs
+  det-address-order    hashing or ordering by pointer value depends on the
+                       allocator and ASLR
+  det-contract-comment every source opens with a '//' comment stating its
+                       contract, so the discipline is visible in-file
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from .. import config
+from ..context import Finding, RepoContext, SourceFile
+from ..registry import Check, register
+
+
+def _deterministic_sources(ctx: RepoContext) -> list[SourceFile]:
+    return ctx.sources(under=config.DETERMINISTIC_DIRS)
+
+
+class _PatternCheck(Check):
+    patterns: list[tuple[re.Pattern[str], str]] = []
+    why = ""
+
+    def run(self, ctx: RepoContext) -> Iterable[Finding]:
+        for sf in _deterministic_sources(ctx):
+            for pattern, label in self.patterns:
+                for m in pattern.finditer(sf.stripped):
+                    yield self.finding(
+                        sf.rel,
+                        sf.line_of_offset(m.start()),
+                        f"uses {label} in a deterministic subsystem; {self.why}",
+                    )
+
+
+@register
+class WallClock(_PatternCheck):
+    id = "det-wall-clock"
+    description = "no wall-clock reads in deterministic subsystems"
+    patterns = [
+        (re.compile(r"std::chrono::system_clock"), "std::chrono::system_clock"),
+        (re.compile(r"std::chrono::steady_clock"), "std::chrono::steady_clock"),
+        (
+            re.compile(r"std::chrono::high_resolution_clock"),
+            "std::chrono::high_resolution_clock",
+        ),
+        (re.compile(r"\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"), "time(nullptr)"),
+        (re.compile(r"\bgettimeofday\s*\("), "gettimeofday("),
+        (re.compile(r"\bclock_gettime\s*\("), "clock_gettime("),
+    ]
+    why = "replayable simulations use simulated time only, never wall-clock time"
+
+
+@register
+class LocaleReads(_PatternCheck):
+    id = "det-locale"
+    description = "no locale or calendar formatting in deterministic subsystems"
+    patterns = [
+        (re.compile(r"std::locale"), "std::locale"),
+        (re.compile(r"\bsetlocale\s*\("), "setlocale("),
+        (re.compile(r"\blocaltime(?:_r)?\s*\("), "localtime("),
+        (re.compile(r"\bgmtime(?:_r)?\s*\("), "gmtime("),
+        (re.compile(r"\bstrftime\s*\("), "strftime("),
+        (re.compile(r"\basctime\s*\("), "asctime("),
+    ]
+    why = "formatting must not vary with the host environment"
+
+
+@register
+class StaticState(Check):
+    id = "det-static-state"
+    description = "no mutable static or namespace-scope state in deterministic subsystems"
+
+    # `static <type> name =` / `name;` / `name{...}` where the type is not
+    # const/constexpr, plus `inline` namespace-scope variables in headers.
+    # Static member *functions* never match: the declarator is followed by
+    # '(' which the name-capture refuses.
+    _MUTABLE_STATIC = re.compile(
+        r"\b(?:static|inline)\s+(?!const\b|constexpr\b|void\b)"
+        r"[\w:<>,*&\s]+?\b(\w+)\s*(?:=[^=]|\{|;)"
+    )
+
+    def run(self, ctx: RepoContext) -> Iterable[Finding]:
+        for sf in _deterministic_sources(ctx):
+            for m in self._MUTABLE_STATIC.finditer(sf.stripped):
+                yield self.finding(
+                    sf.rel,
+                    sf.line_of_offset(m.start()),
+                    f"mutable static/namespace-scope state '{m.group(1)}' in a "
+                    "deterministic subsystem; state must live in the session/"
+                    "engine object so replications stay independent and "
+                    "thread-safe",
+                )
+
+
+@register
+class UnorderedContainers(Check):
+    id = "det-unordered"
+    description = "no unordered containers in deterministic subsystems"
+
+    _UNORDERED = re.compile(r"std::unordered_(?:multi)?(?:map|set)\b")
+
+    def run(self, ctx: RepoContext) -> Iterable[Finding]:
+        for sf in _deterministic_sources(ctx):
+            for m in self._UNORDERED.finditer(sf.stripped):
+                yield self.finding(
+                    sf.rel,
+                    sf.line_of_offset(m.start()),
+                    "std::unordered_map/set in a deterministic subsystem: "
+                    "iteration order is unspecified, so anything it feeds "
+                    "(output, accumulation, event emission) loses "
+                    "bit-reproducibility; use std::map or a sorted vector, or "
+                    "suppress with a justification that iteration never "
+                    "escapes",
+                )
+
+
+@register
+class AddressOrder(Check):
+    id = "det-address-order"
+    description = "no hashing/ordering by pointer value in deterministic subsystems"
+
+    _PATTERNS = [
+        (re.compile(r"std::hash\s*<[^>]*\*\s*>"), "std::hash of a pointer type"),
+        (
+            re.compile(r"reinterpret_cast\s*<\s*std::u?intptr_t\s*>"),
+            "reinterpret_cast to uintptr_t (pointer-value arithmetic)",
+        ),
+    ]
+
+    def run(self, ctx: RepoContext) -> Iterable[Finding]:
+        for sf in _deterministic_sources(ctx):
+            for pattern, label in self._PATTERNS:
+                for m in pattern.finditer(sf.stripped):
+                    yield self.finding(
+                        sf.rel,
+                        sf.line_of_offset(m.start()),
+                        f"{label}: addresses vary run-to-run under ASLR, so "
+                        "any ordering or bucketing derived from them is "
+                        "nondeterministic",
+                    )
+
+
+@register
+class ContractComment(Check):
+    id = "det-contract-comment"
+    description = "deterministic sources open with a '//' contract comment"
+
+    def run(self, ctx: RepoContext) -> Iterable[Finding]:
+        for sf in _deterministic_sources(ctx):
+            if not sf.raw.lstrip().startswith("//"):
+                yield self.finding(
+                    sf.rel,
+                    1,
+                    "sources in deterministic subsystems must open with a "
+                    "'//' header comment stating the file's contract",
+                )

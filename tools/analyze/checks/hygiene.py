@@ -1,0 +1,38 @@
+"""Source hygiene: include guards and namespace discipline."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from ..context import Finding, RepoContext
+from ..registry import Check, register
+
+_USING_NAMESPACE_STD = re.compile(r"^\s*using\s+namespace\s+std\s*;")
+
+
+@register
+class PragmaOnce(Check):
+    id = "header-pragma-once"
+    description = "every header opens its include guard with #pragma once"
+
+    def run(self, ctx: RepoContext) -> Iterable[Finding]:
+        for sf in ctx.sources(suffixes=(".h",)):
+            if "#pragma once" not in sf.raw:
+                yield self.finding(
+                    sf.rel, None, "header is missing '#pragma once'"
+                )
+
+
+@register
+class UsingNamespaceStd(Check):
+    id = "using-namespace-std"
+    description = "'using namespace std;' is banned everywhere"
+
+    def run(self, ctx: RepoContext) -> Iterable[Finding]:
+        for sf in ctx.sources():
+            for lineno, line in enumerate(sf.stripped_lines, start=1):
+                if _USING_NAMESPACE_STD.search(line):
+                    yield self.finding(
+                        sf.rel, lineno, "'using namespace std;' is banned"
+                    )

@@ -1,0 +1,39 @@
+"""RNG policy: all randomness flows through ps360::util::Rng."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from .. import config
+from ..context import Finding, RepoContext
+from ..registry import Check, register
+
+_BANNED = [
+    (re.compile(r"\brand\s*\(\s*\)"), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand("),
+    (re.compile(r"std::random_device"), "std::random_device"),
+    (re.compile(r"std::mt19937"), "std::mt19937"),
+]
+
+
+@register
+class RngPolicy(Check):
+    id = "rng-policy"
+    description = (
+        "randomness goes through ps360::util::Rng so every run is "
+        "bit-reproducible"
+    )
+
+    def run(self, ctx: RepoContext) -> Iterable[Finding]:
+        for sf in ctx.sources():
+            if sf.rel in config.RNG_EXEMPT:
+                continue
+            for pattern, label in _BANNED:
+                for m in pattern.finditer(sf.stripped):
+                    yield self.finding(
+                        sf.rel,
+                        sf.line_of_offset(m.start()),
+                        f"uses {label}; all randomness must go through "
+                        "ps360::util::Rng (src/util/rng.h)",
+                    )

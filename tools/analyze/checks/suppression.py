@@ -1,0 +1,26 @@
+"""Suppression hygiene: the engine-managed meta-check.
+
+Registered like any other check so it gets a stable ID, a ctest entry, and
+SARIF rule metadata — but its findings are computed by the engine after
+suppression resolution (it needs to know which allow() comments matched a
+real finding and which dangled)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..context import Finding, RepoContext
+from ..registry import Check, register
+
+
+@register
+class SuppressionHygiene(Check):
+    id = "suppression-hygiene"
+    description = (
+        "ps360-lint allow() comments carry a justification, name a real "
+        "check, and match an actual finding (unused suppressions are errors)"
+    )
+    engine_managed = True
+
+    def run(self, ctx: RepoContext) -> Iterable[Finding]:
+        return ()

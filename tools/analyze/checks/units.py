@@ -1,0 +1,44 @@
+"""Unit-safe public APIs: dimensioned parameters use util:: strong types.
+
+A `double` function parameter whose name carries a unit suffix (`_s`,
+`_ms`, `_bps`, `_mbps`, `_j`, `_w`, `_deg`, `_rad`, and compound rates such
+as `_bytes_per_s`) is a degree/radian- or seconds/segments-confusion bug
+waiting to happen; util/units.h provides zero-overhead Quantity wrappers
+for exactly these. The screen targets *parameters* (a `double` introduced
+by `(` or `,` in a declarator list) — struct data members and private math
+may keep suffixed raw doubles, per the units.h conventions block.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from .. import config
+from ..context import Finding, RepoContext
+from ..registry import Check, register
+
+_RAW_UNIT_PARAM = re.compile(
+    r"[(,]\s*(?:const\s+)?double\s+(\w*_(?:%s))\b" % "|".join(config.UNIT_SUFFIXES)
+)
+
+
+@register
+class UnitsSuffix(Check):
+    id = "units-suffix"
+    description = (
+        "raw double unit-suffixed parameters in src/ public headers must be "
+        "util:: strong types (units.h)"
+    )
+
+    def run(self, ctx: RepoContext) -> Iterable[Finding]:
+        for sf in ctx.sources(under=(config.UNITS_HEADER_DIR,), suffixes=(".h",)):
+            for m in _RAW_UNIT_PARAM.finditer(sf.stripped):
+                yield self.finding(
+                    sf.rel,
+                    sf.line_of_offset(m.start(1)),
+                    f"raw 'double {m.group(1)}' parameter in a public header; "
+                    "use the util:: strong type for this dimension "
+                    "(util/units.h: Seconds, Mbps, BytesPerSec, Joules, "
+                    "Watts, Degrees, Radians, DegPerSec)",
+                )

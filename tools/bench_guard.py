@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Hard-gate headline benchmark metrics against committed baselines.
+
+Usage:
+  tools/bench_guard.py BENCH_mpc.json=bench/results/BENCH_mpc.json \\
+      BENCH_fleet.json=bench/results/BENCH_fleet.json [--tolerance 4.0]
+
+Each positional argument is a CURRENT=BASELINE pair of google-benchmark JSON
+files. Benchmarks are matched by name; a run fails (exit 1) when any matched
+benchmark's real time exceeds baseline * tolerance. Unlike bench_report.py —
+which narrates the perf trajectory without judging it — this is a gate, so
+the tolerance is deliberately generous (default 4x): shared CI runners jitter
+by integer factors, and the gate exists to catch order-of-magnitude
+accidents (a debug-build binary, an O(n^2) slip in the solver hot loop, an
+event queue that stopped recycling), not single-digit-percent drift.
+
+Benchmarks present on only one side are reported and ignored: new benchmarks
+should not fail the gate, and retired ones should not block until the
+baseline is regenerated. A baseline whose names ALL miss the current run
+fails, though — that means the wrong file pair was wired up.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from bench_report import fmt_time, load_benchmarks
+
+
+def guard(current_path: pathlib.Path, baseline_path: pathlib.Path,
+          tolerance: float) -> int:
+    current = load_benchmarks(current_path)
+    baseline = load_benchmarks(baseline_path)
+    matched = sorted(set(current) & set(baseline))
+    if not matched:
+        print(f"bench_guard.py: {current_path} and {baseline_path} share no "
+              f"benchmark names; wrong pair?", file=sys.stderr)
+        return 1
+
+    status = 0
+    print(f"== {current_path} vs {baseline_path} (tolerance {tolerance:g}x)")
+    for name in matched:
+        ratio = current[name] / baseline[name]
+        verdict = "ok" if ratio <= tolerance else "REGRESSION"
+        if verdict != "ok":
+            status = 1
+        print(f"  {verdict:>10}  {name}: {fmt_time(current[name])} vs "
+              f"baseline {fmt_time(baseline[name])} ({ratio:.2f}x)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {'new':>10}  {name}: {fmt_time(current[name])} "
+              f"(not in baseline; regenerate to start tracking)")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  {'retired':>10}  {name}: in baseline only")
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("pairs", nargs="+", metavar="CURRENT=BASELINE",
+                        help="google-benchmark JSON pair to gate")
+    parser.add_argument("--tolerance", type=float, default=4.0,
+                        help="max allowed current/baseline time ratio "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+    if args.tolerance <= 1.0:
+        parser.error("--tolerance must be > 1.0")
+
+    status = 0
+    for pair in args.pairs:
+        head, sep, tail = pair.partition("=")
+        if not sep or not head or not tail:
+            parser.error(f"expected CURRENT=BASELINE, got '{pair}'")
+        try:
+            status |= guard(pathlib.Path(head), pathlib.Path(tail),
+                            args.tolerance)
+        except (OSError, ValueError, KeyError) as err:
+            print(f"bench_guard.py: cannot read pair '{pair}': {err}",
+                  file=sys.stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

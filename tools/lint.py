@@ -1,195 +1,25 @@
 #!/usr/bin/env python3
-"""Repo-invariant lint for pstream360, run as the `lint.invariants` ctest.
+"""Repo-invariant lint for pstream360 — thin shim over tools/analyze/.
 
-Checked invariants:
-  1. Header hygiene: every .h under src/ and bench/ starts include guards with
-     `#pragma once`.
-  2. RNG policy: all randomness flows through ps360::util::Rng. `rand()`,
-     `srand(`, `std::random_device`, and `std::mt19937` are banned outside
-     src/util/rng.* so every run stays bit-reproducible.
-  3. Unit-safe public headers: the migrated modules (geometry angles/viewport,
-     power energy/device_models, qoe qoe_model) must not declare raw
-     `double foo_deg` / `double foo_rad` parameters — angles crossing those
-     APIs are util::Degrees / util::Radians strong types.
-  4. Contract checks: every .cpp in the migrated modules validates inputs with
-     PS360_CHECK / PS360_ASSERT (util/check.h).
-  5. `using namespace std;` is banned everywhere.
-  6. Deterministic subsystems: src/fleet is a deterministic discrete-event
-     engine and src/obs observes replayable simulations, so wall-clock time
-     (`std::chrono::system_clock`, `steady_clock::now`) and non-reproducible
-     entropy are banned in both, and every source there starts with a `//`
-     header comment stating its contract. A trace record stamped with real
-     time would make identical runs produce different artifacts.
+Every invariant is a registered check class with a stable ID (see
+`--list-checks`); findings honor inline suppressions
+(`// ps360-lint: allow(<check-id>) -- <justification>`) and the committed
+baseline (tools/analyze/baseline.json). ctest runs one `lint.<id>` entry
+per check; CI additionally uploads the SARIF report:
+
+  python3 tools/lint.py --repo . --format sarif --out lint.sarif
 
 Exit code 0 when clean, 1 with one line per violation otherwise.
 """
 
 from __future__ import annotations
 
-import argparse
 import pathlib
-import re
 import sys
 
-SOURCE_DIRS = ["src", "tests", "bench", "examples", "tools"]
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
-RNG_EXEMPT = ("src/util/rng.h", "src/util/rng.cpp")
-RNG_BANNED = [
-    (re.compile(r"\brand\s*\(\s*\)"), "rand()"),
-    (re.compile(r"\bsrand\s*\("), "srand("),
-    (re.compile(r"std::random_device"), "std::random_device"),
-    (re.compile(r"std::mt19937"), "std::mt19937"),
-]
-
-UNIT_SAFE_HEADERS = [
-    "src/geometry/angles.h",
-    "src/geometry/viewport.h",
-    "src/power/energy.h",
-    "src/power/device_models.h",
-    "src/qoe/qoe_model.h",
-]
-
-# `double lon_deg,` / `double a_rad)` — a raw-double angle parameter.
-RAW_ANGLE_PARAM = re.compile(r"\bdouble\s+\w*_(?:deg|rad)\s*[,)=]")
-
-CONTRACT_MODULES = ["src/geometry", "src/power", "src/qoe", "src/fleet",
-                    "src/obs"]
-
-# Deterministic subsystems (fleet engine, observability layer) must be
-# replayable: no wall-clock reads, no OS entropy. Individual files elsewhere
-# that feed those subsystems (the seeded fault-injection layer) are held to
-# the same bar.
-DETERMINISTIC_DIRS = ["src/fleet", "src/obs"]
-DETERMINISTIC_FILES = [
-    "src/trace/fault_schedule.h",
-    "src/trace/fault_schedule.cpp",
-]
-FLEET_BANNED = [
-    (re.compile(r"std::chrono::system_clock"), "std::chrono::system_clock"),
-    (re.compile(r"std::chrono::steady_clock"), "std::chrono::steady_clock"),
-    (re.compile(r"std::chrono::high_resolution_clock"),
-     "std::chrono::high_resolution_clock"),
-]
-
-USING_NAMESPACE_STD = re.compile(r"^\s*using\s+namespace\s+std\s*;")
-
-
-def strip_comments(text: str) -> str:
-    """Remove // and /* */ comments (string literals are not parsed; none of
-    the banned tokens appear inside strings in this codebase)."""
-    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
-    return re.sub(r"//[^\n]*", "", text)
-
-
-def iter_sources(repo: pathlib.Path, suffixes: tuple[str, ...]):
-    for d in SOURCE_DIRS:
-        root = repo / d
-        if not root.is_dir():
-            continue
-        for path in sorted(root.rglob("*")):
-            if path.suffix in suffixes and path.is_file():
-                yield path
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--repo", default=".", help="repository root")
-    args = parser.parse_args()
-    repo = pathlib.Path(args.repo).resolve()
-
-    violations: list[str] = []
-
-    def rel(path: pathlib.Path) -> str:
-        return path.relative_to(repo).as_posix()
-
-    # 1. #pragma once in every header.
-    for path in iter_sources(repo, (".h",)):
-        text = path.read_text(encoding="utf-8")
-        if "#pragma once" not in text:
-            violations.append(f"{rel(path)}: header is missing '#pragma once'")
-
-    # 2. RNG policy + 5. using namespace std.
-    for path in iter_sources(repo, (".h", ".cpp")):
-        rp = rel(path)
-        text = strip_comments(path.read_text(encoding="utf-8"))
-        if rp not in RNG_EXEMPT:
-            for pattern, label in RNG_BANNED:
-                if pattern.search(text):
-                    violations.append(
-                        f"{rp}: uses {label}; all randomness must go through "
-                        "ps360::util::Rng (src/util/rng.h)"
-                    )
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            if USING_NAMESPACE_STD.search(line):
-                violations.append(f"{rp}:{lineno}: 'using namespace std;' is banned")
-
-    # 3. Unit-safe public headers.
-    for header in UNIT_SAFE_HEADERS:
-        path = repo / header
-        if not path.is_file():
-            violations.append(f"{header}: unit-safe header is missing")
-            continue
-        text = strip_comments(path.read_text(encoding="utf-8"))
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            if RAW_ANGLE_PARAM.search(line):
-                violations.append(
-                    f"{header}:{lineno}: raw 'double ..._deg/_rad' parameter in a "
-                    "unit-safe public header; use util::Degrees / util::Radians"
-                )
-
-    # 6. Deterministic subsystems: clock bans + leading contract comment.
-    def check_deterministic(path: pathlib.Path, scope: str) -> None:
-        raw = path.read_text(encoding="utf-8")
-        text = strip_comments(raw)
-        for pattern, label in FLEET_BANNED:
-            if pattern.search(text):
-                violations.append(
-                    f"{rel(path)}: uses {label}; {scope} is replayable "
-                    "— simulated time only, never wall-clock time"
-                )
-        if not raw.lstrip().startswith("//"):
-            violations.append(
-                f"{rel(path)}: sources in {scope} must open with a '//' "
-                "header comment stating the file's contract"
-            )
-
-    for det_dir in DETERMINISTIC_DIRS:
-        for path in sorted((repo / det_dir).glob("*")):
-            if path.suffix in (".h", ".cpp"):
-                check_deterministic(path, det_dir)
-    for det_file in DETERMINISTIC_FILES:
-        path = repo / det_file
-        if not path.is_file():
-            violations.append(f"{det_file}: deterministic source is missing")
-            continue
-        check_deterministic(path, det_file)
-
-    # 4. Contract checks in migrated modules (plus the deterministic
-    #    stand-alone sources, which carry the same validation bar).
-    contract_sources = [
-        path for module in CONTRACT_MODULES
-        for path in sorted((repo / module).glob("*.cpp"))
-    ]
-    contract_sources += [
-        repo / f for f in DETERMINISTIC_FILES
-        if f.endswith(".cpp") and (repo / f).is_file()
-    ]
-    for path in contract_sources:
-        text = path.read_text(encoding="utf-8")
-        if "PS360_CHECK" not in text and "PS360_ASSERT" not in text:
-            violations.append(
-                f"{rel(path)}: no PS360_CHECK/PS360_ASSERT; public API entries "
-                "in migrated modules must validate their inputs (util/check.h)"
-            )
-
-    if violations:
-        print(f"lint.py: {len(violations)} violation(s)")
-        for v in violations:
-            print(f"  {v}")
-        return 1
-    print("lint.py: all invariants hold")
-    return 0
-
+from analyze import cli  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(cli.main())
