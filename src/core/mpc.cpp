@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/buffer.h"
+#include "core/plan_cache.h"
 #include "util/check.h"
 #include "util/units.h"
 
@@ -37,11 +38,15 @@ void grow(std::vector<T>& vec, std::size_t n, std::uint64_t& grow_events) {
 
 std::size_t MpcScratch::capacity_bytes() const {
   return (step_cost.capacity() + download_s.capacity() + q_ref.capacity() +
-          at_request_s.capacity() + stall_s.capacity()) *
+          at_request_s.capacity() + stall_s.capacity() + cand_cost.capacity() +
+          frontier_cost.capacity() + next_cost.capacity()) *
              sizeof(double) +
-         eps_ok.capacity() * sizeof(unsigned char) +
-         next_bucket.capacity() * sizeof(std::int32_t) +
-         (frontier.capacity() + next.capacity()) * sizeof(Node);
+         (eps_ok.capacity() + frontier_stall.capacity() +
+          next_stall.capacity()) *
+             sizeof(unsigned char) +
+         (next_bucket.capacity() + frontier_root.capacity() +
+          next_root.capacity()) *
+             sizeof(std::int32_t);
 }
 
 const QualityOption& reference_option(const SegmentChoices& choices,
@@ -83,7 +88,34 @@ MpcController::MpcController(MpcConfig config, const power::DeviceModel& device,
               config_.buffer_quantum_s <= config_.buffer_threshold_s);
   PS360_CHECK(config_.epsilon >= 0.0 && config_.epsilon < 1.0);
   PS360_CHECK(config_.stall_penalty_per_s >= 0.0);
+
+  // Fingerprint of everything decide() reads besides the live decision
+  // state: the objective, every MpcConfig field, and the device power model
+  // (option_energy depends on it). Folded into every plan-cache key, so two
+  // controllers share cached plans only when their solves are identical —
+  // never via pointer identity, which ASLR would make nondeterministic.
+  PlanKeyHasher fp;
+  fp.mix(static_cast<std::uint64_t>(objective_));
+  fp.mix_double(config_.segment_seconds);
+  fp.mix_double(config_.buffer_threshold_s);
+  fp.mix_double(config_.buffer_quantum_s);
+  fp.mix_double(config_.epsilon);
+  fp.mix_double(config_.weights.variation);
+  fp.mix_double(config_.weights.rebuffer);
+  fp.mix_double(config_.stall_penalty_per_s);
+  fp.mix_double(device.transmit_mw);
+  for (const power::LinearPower& p : device.decode) {
+    fp.mix_double(p.base_mw);
+    fp.mix_double(p.slope_mw_per_fps);
+  }
+  fp.mix_double(device.render.base_mw);
+  fp.mix_double(device.render.slope_mw_per_fps);
+  const PlanKey fp_key = fp.key();
+  config_fp_hi_ = fp_key.hi;
+  config_fp_lo_ = fp_key.lo;
 }
+
+void MpcController::set_plan_cache(PlanCache* cache) { plan_cache_ = cache; }
 
 void MpcController::set_observer(obs::Observer* observer, std::uint32_t session) {
   observer_ = observer;
@@ -115,6 +147,64 @@ void MpcController::reference_qualities(const std::vector<SegmentChoices>& horiz
   }
 }
 
+namespace {
+
+// Exact plan-cache key of one decide() call: the controller fingerprint
+// (objective + config + device) folded with the live decision state. The
+// buffer enters as its DP bucket — lossless, since decide() reads the start
+// buffer only through bucket_of — while bandwidth and prev_qo enter as raw
+// double bits, never bucketed. The horizon content (every option's v, f,
+// fps, bytes, Qo, decode profile, per segment) subsumes the segment index:
+// per-segment encoding noise makes different segments hash differently.
+// prev_qo is folded only in kMaxQoE mode; the energy objective provably
+// never reads it, so excluding it is what lets energy-mode plans hit across
+// segments whose previous qualities differ.
+PlanKey make_plan_key(std::uint64_t fp_hi, std::uint64_t fp_lo,
+                      const std::vector<SegmentChoices>& horizon, int bucket,
+                      double bandwidth_bytes_per_s, bool include_prev_qo,
+                      double prev_qo) {
+  PlanKeyHasher hasher;
+  hasher.mix(fp_hi);
+  hasher.mix(fp_lo);
+  hasher.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(bucket)));
+  hasher.mix_double(bandwidth_bytes_per_s);
+  if (include_prev_qo) hasher.mix_double(prev_qo);
+  hasher.mix(horizon.size());
+  for (const SegmentChoices& seg : horizon) {
+    hasher.mix(seg.options.size());
+    for (const QualityOption& option : seg.options) {
+      // The three small integer fields share one word (v and the ladder
+      // index each fit 24 bits by construction; the profile enum fits 16),
+      // keeping the hot hashing loop at four mixes per option.
+      hasher.mix(static_cast<std::uint64_t>(
+                     static_cast<std::uint32_t>(option.quality)) |
+                 (static_cast<std::uint64_t>(option.frame_index) << 24) |
+                 (static_cast<std::uint64_t>(option.profile) << 48));
+      hasher.mix_double(option.fps);
+      hasher.mix_double(option.bytes);
+      hasher.mix_double(option.qo);
+    }
+  }
+  return hasher.key();
+}
+
+}  // namespace
+
+void MpcController::publish_decision(const MpcDecision& decision,
+                                     bool relaxed_fallback,
+                                     std::size_t horizon_len) const {
+  if (observer_ == nullptr) return;
+  if (observer_->metrics != nullptr) {
+    observer_->metrics->add(id_decides_);
+    if (relaxed_fallback) observer_->metrics->add(id_relaxed_);
+    if (!decision.feasible) observer_->metrics->add(id_infeasible_);
+  }
+  obs::trace(observer_, obs_session_,
+             relaxed_fallback ? obs::TraceEventKind::kMpcRelaxed
+                              : obs::TraceEventKind::kMpcStrict,
+             static_cast<std::int64_t>(horizon_len), decision.objective);
+}
+
 // The DP of Eq. 8 over dense tables. State = (quantized buffer bucket,
 // option chosen for the previous segment); the previous option matters only
 // through its Qo (the kMaxQoE variation term), so in energy mode — where the
@@ -125,12 +215,21 @@ void MpcController::reference_qualities(const std::vector<SegmentChoices>& horiz
 // decide() call into the scratch arena:
 //   * step_cost[i][oi]   — option energy (Eq. 1) or raw Qo,
 //   * eps_ok[i][oi]      — constraint (8c) vs the shared reference ladder,
-//   * next_bucket/stall_s[i][b][oi] — the quantized Eq. 6 transition, which
-//     only depends on the (small) buffer grid, not on the full frontier.
-// The old implementation recomputed option_energy for every
-// (frontier-state × option) pair and rebuilt a std::map per horizon step;
-// this one touches only flat vectors and performs no steady-state
-// allocations (see MpcScratch).
+//   * next_bucket/stall_s[b][oi] — the quantized Eq. 6 transition of the
+//     current step, which only depends on the (small) buffer grid.
+//
+// The inner cost sweep is branch-free. Energy mode runs in two phases:
+// phase 1 computes every (bucket, option) candidate cost with strictness
+// applied as a +inf mask (a select, not a branch — the loop has no
+// data-dependent control flow, so the compiler can vectorise it); phase 2
+// scatter-mins the candidates into the next frontier with branchless
+// selects. Masked (+inf) candidates are harmless in phase 2: +inf never
+// compares strictly less than any target, and on an inf == inf tie the
+// candidate root can only win against a target root of -1 — which no
+// nonnegative candidate root does — so dead states keep root -1 and are
+// never observed. kMaxQoE keeps a per-state alive check (dead prev-option
+// slots would index past the previous segment's ladder) but its option loop
+// uses the same branchless selects.
 //
 // Ties on the optimal objective are broken toward the smallest horizon[0]
 // option index — (cost, root choice) propagates lexicographically through
@@ -151,11 +250,32 @@ MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
   const bool energy_mode = objective_ == MpcObjective::kMinEnergyQoEConstrained;
   const std::size_t h = horizon.size();
 
+  const BufferModel buffers = buffer_model_of(config_);
+
+  // Cross-session memoization: on a hit, rebuild the decision from the live
+  // horizon and replay the observer emissions — bit-identical to a solve.
+  PlanKey plan_key{};
+  if (plan_cache_ != nullptr) {
+    plan_key = make_plan_key(config_fp_hi_, config_fp_lo_, horizon,
+                             buffers.bucket_of(buffer), bandwidth_bytes_per_s,
+                             /*include_prev_qo=*/!energy_mode, prev_qo);
+    if (const PlanCache::Entry* hit = plan_cache_->find(plan_key)) {
+      PS360_ASSERT(hit->root >= 0 &&
+                   static_cast<std::size_t>(hit->root) <
+                       horizon[0].options.size());
+      MpcDecision decision;
+      decision.choice = horizon[0].options[static_cast<std::size_t>(hit->root)];
+      decision.objective = hit->objective;
+      decision.feasible = hit->feasible;
+      publish_decision(decision, hit->relaxed_fallback, h);
+      return decision;
+    }
+  }
+
   std::size_t max_options = 0;
   for (const auto& seg : horizon)
     max_options = std::max(max_options, seg.options.size());
 
-  const BufferModel buffers = buffer_model_of(config_);
   const std::size_t buckets = buffers.bucket_count();
   // Frontier stride over the prev-option dimension: slot 0 is the virtual
   // "no previous option" state (prev_qo), slots 1.. are option indices of
@@ -207,7 +327,9 @@ MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
   // Quantized Eq. 6 transition from bucket b under download time d: stall
   // and the next bucket. raw_next lies in [L, cap], so the quantize() clamp
   // reduces to the min(), and dividing by the quantum directly reproduces
-  // bucket_of(quantize(raw_next)) without materialising the level.
+  // bucket_of(quantize(raw_next)) without materialising the level. lround
+  // stays confined to this small per-step table fill; the hot sweep below
+  // only reads the materialised table.
   auto transition = [&](std::size_t b, double d, double& stall) {
     const double at_request = scratch.at_request_s[b];
     stall = std::max(d - at_request, 0.0);
@@ -216,14 +338,12 @@ MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
     return static_cast<std::size_t>(std::lround(std::min(raw_next, cap) / quantum));
   };
 
-  // In kMaxQoE mode every bucket row of transitions is shared by |options|
-  // frontier states, so materialise it once per step (filled lazily below);
-  // in energy mode each (bucket, option) pair is visited exactly once and
-  // the table would be pure overhead.
-  if (!energy_mode) {
-    grow(scratch.next_bucket, buckets * max_options, scratch.grow_events);
-    grow(scratch.stall_s, buckets * max_options, scratch.grow_events);
-  }
+  // Per-step (bucket × option) transition table, shared by both modes; the
+  // energy sweep additionally stages its masked candidate costs.
+  grow(scratch.next_bucket, buckets * max_options, scratch.grow_events);
+  grow(scratch.stall_s, buckets * max_options, scratch.grow_events);
+  if (energy_mode)
+    grow(scratch.cand_cost, buckets * max_options, scratch.grow_events);
 
   const std::size_t table_size = buckets * prev_stride;
   const std::size_t start =
@@ -231,64 +351,113 @@ MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
 
   // strict = enforce no-stall + ε-constraint (energy mode); relaxed = allow
   // everything, penalise stalls — used as fallback and as the kMaxQoE mode.
-  // Returns false if no complete path exists under the given strictness.
-  auto run = [&](bool strict, MpcDecision& decision) -> bool {
-    grow(scratch.frontier, table_size, scratch.grow_events);
-    grow(scratch.next, table_size, scratch.grow_events);
-    constexpr MpcScratch::Node kDead{kInf, -1, false};
-    std::fill(scratch.frontier.begin(), scratch.frontier.end(), kDead);
-    scratch.frontier[start] = MpcScratch::Node{0.0, -1, false};
+  // Returns false if no complete path exists under the given strictness;
+  // on success also reports the chosen root index for the plan cache.
+  auto run = [&](bool strict, MpcDecision& decision,
+                 std::int32_t& root_out) -> bool {
+    grow(scratch.frontier_cost, table_size, scratch.grow_events);
+    grow(scratch.next_cost, table_size, scratch.grow_events);
+    grow(scratch.frontier_root, table_size, scratch.grow_events);
+    grow(scratch.next_root, table_size, scratch.grow_events);
+    grow(scratch.frontier_stall, table_size, scratch.grow_events);
+    grow(scratch.next_stall, table_size, scratch.grow_events);
+    std::fill(scratch.frontier_cost.begin(), scratch.frontier_cost.end(), kInf);
+    std::fill(scratch.frontier_root.begin(), scratch.frontier_root.end(),
+              std::int32_t{-1});
+    std::fill(scratch.frontier_stall.begin(), scratch.frontier_stall.end(),
+              static_cast<unsigned char>(0));
+    scratch.frontier_cost[start] = 0.0;
     bool any_alive = true;
 
     for (std::size_t i = 0; i < h && any_alive; ++i) {
-      std::fill(scratch.next.begin(), scratch.next.end(), kDead);
+      std::fill(scratch.next_cost.begin(), scratch.next_cost.end(), kInf);
+      std::fill(scratch.next_root.begin(), scratch.next_root.end(),
+                std::int32_t{-1});
+      std::fill(scratch.next_stall.begin(), scratch.next_stall.end(),
+                static_cast<unsigned char>(0));
       any_alive = false;
       const std::size_t n_options = horizon[i].options.size();
       const double* step_cost = scratch.step_cost.data() + i * max_options;
       const double* download_s = scratch.download_s.data() + i * max_options;
       const unsigned char* eps_ok = scratch.eps_ok.data() + i * max_options;
 
+      // This step's Eq. 6 transitions, one row per bucket.
+      for (std::size_t b = 0; b < buckets; ++b) {
+        for (std::size_t oi = 0; oi < n_options; ++oi) {
+          double stall;
+          const std::size_t nb = transition(b, download_s[oi], stall);
+          scratch.next_bucket[b * max_options + oi] =
+              static_cast<std::int32_t>(nb);
+          scratch.stall_s[b * max_options + oi] = stall;
+        }
+      }
+
       if (energy_mode) {
-        // Collapsed frontier: one slot per bucket, state-independent step
-        // cost, transitions computed inline.
-        for (std::size_t b = 0; b < table_size; ++b) {
-          const MpcScratch::Node& node = scratch.frontier[b];
-          if (node.cost == kInf) continue;
-          for (std::size_t oi = 0; oi < n_options; ++oi) {
-            if (strict && !eps_ok[oi]) continue;
-            double stall;
-            const std::size_t nb = transition(b, download_s[oi], stall);
-            if (strict && stall > 0.0) continue;
-            double step = step_cost[oi];
-            if (!strict) step += kStallPenaltyMjPerS * stall;
-            const double total = node.cost + step;
-            const std::int32_t root =
-                i == 0 ? static_cast<std::int32_t>(oi) : node.root_choice;
-            MpcScratch::Node& target = scratch.next[nb];
-            if (total < target.cost ||
-                (total == target.cost && root < target.root_choice)) {
-              target.cost = total;
-              target.root_choice = root;
-              target.had_stall = node.had_stall || stall > 0.0;
-              any_alive = true;
+        // Phase 1 — masked candidate costs, no branches in the loop body:
+        // infeasible (strict) candidates become +inf via a select. A dead
+        // frontier bucket (cost +inf) propagates +inf through the addition,
+        // so no alive-check is needed either.
+        if (strict) {
+          for (std::size_t b = 0; b < table_size; ++b) {
+            const double base = scratch.frontier_cost[b];
+            const double* stall_row = scratch.stall_s.data() + b * max_options;
+            double* cand = scratch.cand_cost.data() + b * max_options;
+            for (std::size_t oi = 0; oi < n_options; ++oi) {
+              const bool ok = eps_ok[oi] != 0 && stall_row[oi] == 0.0;
+              cand[oi] = ok ? base + step_cost[oi] : kInf;
+            }
+          }
+        } else {
+          for (std::size_t b = 0; b < table_size; ++b) {
+            const double base = scratch.frontier_cost[b];
+            const double* stall_row = scratch.stall_s.data() + b * max_options;
+            double* cand = scratch.cand_cost.data() + b * max_options;
+            for (std::size_t oi = 0; oi < n_options; ++oi) {
+              // Parenthesised as (step + penalty·stall) first: the exact
+              // FP association of the reference implementation.
+              cand[oi] = base + (step_cost[oi] +
+                                 kStallPenaltyMjPerS * stall_row[oi]);
             }
           }
         }
-      } else {
-        // Fill this step's (bucket × option) transition table once; each
-        // row then serves every prev-option slot of that bucket.
-        for (std::size_t b = 0; b < buckets; ++b) {
+        // Phase 2 — scatter-min with branchless selects; the lexicographic
+        // (cost, root) tie-break is two selects, never a taken branch.
+        for (std::size_t b = 0; b < table_size; ++b) {
+          const std::int32_t node_root = scratch.frontier_root[b];
+          const unsigned char node_stall = scratch.frontier_stall[b];
+          const double* cand = scratch.cand_cost.data() + b * max_options;
+          const std::int32_t* nb_row =
+              scratch.next_bucket.data() + b * max_options;
+          const double* stall_row = scratch.stall_s.data() + b * max_options;
           for (std::size_t oi = 0; oi < n_options; ++oi) {
-            double stall;
-            const std::size_t nb = transition(b, download_s[oi], stall);
-            scratch.next_bucket[b * max_options + oi] =
-                static_cast<std::int32_t>(nb);
-            scratch.stall_s[b * max_options + oi] = stall;
+            const double total = cand[oi];
+            const std::size_t nb = static_cast<std::size_t>(nb_row[oi]);
+            const std::int32_t root =
+                i == 0 ? static_cast<std::int32_t>(oi) : node_root;
+            const unsigned char had =
+                (node_stall != 0 || stall_row[oi] > 0.0) ? 1 : 0;
+            const bool better =
+                total < scratch.next_cost[nb] ||
+                (total == scratch.next_cost[nb] && root < scratch.next_root[nb]);
+            scratch.next_cost[nb] = better ? total : scratch.next_cost[nb];
+            scratch.next_root[nb] = better ? root : scratch.next_root[nb];
+            scratch.next_stall[nb] = better ? had : scratch.next_stall[nb];
           }
         }
+        // Finite-min liveness: some next state survived iff any candidate
+        // landed below +inf.
+        double min_cost = kInf;
+        for (std::size_t s = 0; s < table_size; ++s)
+          min_cost = std::min(min_cost, scratch.next_cost[s]);
+        any_alive = min_cost < kInf;
+      } else {
         for (std::size_t state = 0; state < table_size; ++state) {
-          const MpcScratch::Node& node = scratch.frontier[state];
-          if (node.cost == kInf) continue;
+          const double node_cost = scratch.frontier_cost[state];
+          // Dead prev-option slots must be skipped: their slot index can
+          // exceed the previous segment's ladder, so the qo_prev read below
+          // is only defined for reachable states.
+          if (node_cost == kInf) continue;
+          any_alive = true;  // alive state ⇒ finite candidates land below
           const std::size_t b = state / prev_stride;
           const std::size_t prev_slot = state % prev_stride;
           // Slot 0 is the virtual pre-horizon state; negative prev_qo then
@@ -296,73 +465,88 @@ MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
           // decision of a session.
           const double qo_prev =
               prev_slot == 0 ? prev_qo : horizon[i - 1].options[prev_slot - 1].qo;
-          const std::int32_t* next_bucket =
+          const std::int32_t node_root = scratch.frontier_root[state];
+          const unsigned char node_stall = scratch.frontier_stall[state];
+          const std::int32_t* nb_row =
               scratch.next_bucket.data() + b * max_options;
-          const double* stall_s = scratch.stall_s.data() + b * max_options;
+          const double* stall_row = scratch.stall_s.data() + b * max_options;
           for (std::size_t oi = 0; oi < n_options; ++oi) {
-            const double stall = stall_s[oi];
+            const double stall = stall_row[oi];
             const double variation =
                 qo_prev >= 0.0 ? std::fabs(step_cost[oi] - qo_prev) : 0.0;
             const double q = step_cost[oi] - config_.weights.variation * variation -
                              config_.stall_penalty_per_s * stall;
             const std::size_t next_state =
-                static_cast<std::size_t>(next_bucket[oi]) * prev_stride + oi + 1;
-            const double total = node.cost - q;
+                static_cast<std::size_t>(nb_row[oi]) * prev_stride + oi + 1;
+            const double total = node_cost - q;
             const std::int32_t root =
-                i == 0 ? static_cast<std::int32_t>(oi) : node.root_choice;
-            MpcScratch::Node& target = scratch.next[next_state];
-            if (total < target.cost ||
-                (total == target.cost && root < target.root_choice)) {
-              target.cost = total;
-              target.root_choice = root;
-              target.had_stall = node.had_stall || stall > 0.0;
-              any_alive = true;
-            }
+                i == 0 ? static_cast<std::int32_t>(oi) : node_root;
+            const unsigned char had =
+                (node_stall != 0 || stall > 0.0) ? 1 : 0;
+            const bool better =
+                total < scratch.next_cost[next_state] ||
+                (total == scratch.next_cost[next_state] &&
+                 root < scratch.next_root[next_state]);
+            scratch.next_cost[next_state] =
+                better ? total : scratch.next_cost[next_state];
+            scratch.next_root[next_state] =
+                better ? root : scratch.next_root[next_state];
+            scratch.next_stall[next_state] =
+                better ? had : scratch.next_stall[next_state];
           }
         }
       }
-      scratch.frontier.swap(scratch.next);
+      scratch.frontier_cost.swap(scratch.next_cost);
+      scratch.frontier_root.swap(scratch.next_root);
+      scratch.frontier_stall.swap(scratch.next_stall);
     }
 
     if (!any_alive) return false;  // no path at all
-    const MpcScratch::Node* best = nullptr;
-    for (const auto& node : scratch.frontier) {
-      if (node.cost == kInf) continue;
-      if (best == nullptr || node.cost < best->cost ||
-          (node.cost == best->cost && node.root_choice < best->root_choice)) {
-        best = &node;
+    double best_cost = kInf;
+    std::int32_t best_root = -1;
+    bool best_stall = false;
+    bool found = false;
+    for (std::size_t s = 0; s < table_size; ++s) {
+      const double cost = scratch.frontier_cost[s];
+      if (cost == kInf) continue;
+      const std::int32_t root = scratch.frontier_root[s];
+      if (!found || cost < best_cost ||
+          (cost == best_cost && root < best_root)) {
+        best_cost = cost;
+        best_root = root;
+        best_stall = scratch.frontier_stall[s] != 0;
+        found = true;
       }
     }
-    PS360_ASSERT(best != nullptr && best->root_choice >= 0);
-    decision.choice =
-        horizon[0].options[static_cast<std::size_t>(best->root_choice)];
-    decision.objective = best->cost;
-    decision.feasible = !best->had_stall;
+    PS360_ASSERT(found && best_root >= 0);
+    decision.choice = horizon[0].options[static_cast<std::size_t>(best_root)];
+    decision.objective = best_cost;
+    decision.feasible = !best_stall;
+    root_out = best_root;
     return true;
   };
 
   MpcDecision decision;
+  std::int32_t root_choice = -1;
   bool relaxed_fallback = false;
-  if (!run(/*strict=*/energy_mode, decision)) {
+  if (!run(/*strict=*/energy_mode, decision, root_choice)) {
     // No plan satisfies the constraints (e.g. bandwidth collapse): fall back
     // to the relaxed problem — reusing the same precomputed tables — and
     // report infeasibility.
-    const bool found = run(/*strict=*/false, decision);
+    const bool found = run(/*strict=*/false, decision, root_choice);
     PS360_ASSERT_MSG(found, "relaxed MPC must always find a plan");
     decision.feasible = false;
     relaxed_fallback = true;
   }
-  if (observer_ != nullptr) {
-    if (observer_->metrics != nullptr) {
-      observer_->metrics->add(id_decides_);
-      if (relaxed_fallback) observer_->metrics->add(id_relaxed_);
-      if (!decision.feasible) observer_->metrics->add(id_infeasible_);
-    }
-    obs::trace(observer_, obs_session_,
-               relaxed_fallback ? obs::TraceEventKind::kMpcRelaxed
-                                : obs::TraceEventKind::kMpcStrict,
-               static_cast<std::int64_t>(h), decision.objective);
+  if (plan_cache_ != nullptr) {
+    PlanCache::Entry entry;
+    entry.root = root_choice;
+    entry.objective = decision.objective;
+    entry.feasible = decision.feasible;
+    entry.relaxed_fallback = relaxed_fallback;
+    plan_cache_->insert(plan_key, entry);
   }
+  publish_decision(decision, relaxed_fallback, h);
   return decision;
 }
 

@@ -35,6 +35,8 @@
 
 namespace ps360::core {
 
+class PlanCache;  // core/plan_cache.h
+
 // One downloadable version of a segment: the (v, f) tuple plus everything
 // the controller needs to evaluate it.
 struct QualityOption {
@@ -73,22 +75,17 @@ struct MpcDecision {
 // Flat scratch arena for the DP solver, owned by the controller and reused
 // across decide() calls so the steady state performs zero heap allocations.
 // Layouts (all flattened, row-major):
-//   per (segment, option):          [segment * option_stride + option]
-//   per (segment, bucket, option):  [(segment * buckets + bucket) * option_stride + option]
-//   DP frontier:                    [bucket * prev_stride + prev_option + 1]
+//   per (segment, option):  [segment * option_stride + option]
+//   per (bucket, option):   [bucket * option_stride + option]  (one step)
+//   DP frontier:            [bucket * prev_stride + prev_option + 1]
 // In kMinEnergyQoEConstrained mode the step cost does not depend on the
 // previous option, so prev_stride collapses to 1 and the frontier shrinks by
-// a factor of |options|. Internal: the only stable surface is the
-// observability accessors on MpcController.
+// a factor of |options|. The frontier is structure-of-arrays — parallel
+// cost / root / stall vectors instead of an array of nodes — so the cost
+// sweep reads and writes contiguous doubles the compiler can vectorise (see
+// the branch-free sweep in mpc.cpp). Internal: the only stable surface is
+// the observability accessors on MpcController.
 struct MpcScratch {
-  // One DP frontier entry: minimal cost to reach the state, the option chosen
-  // at horizon[0] on that minimal path, and whether that path stalled.
-  struct Node {
-    double cost = 0.0;
-    std::int32_t root_choice = -1;
-    bool had_stall = false;
-  };
-
   // Per-option invariants of one decide() call (independent of DP state).
   std::vector<double> step_cost;        // energy mJ, or raw qo in kMaxQoE mode
   std::vector<double> download_s;       // bytes / estimated bandwidth
@@ -96,18 +93,27 @@ struct MpcScratch {
   std::vector<double> q_ref;            // per-segment reference quality
   // Buffer level available at request time per bucket (Eq. 6 Δt applied).
   std::vector<double> at_request_s;
-  // Quantized Eq. 6 transition per (segment, bucket, option); only
-  // materialised in kMaxQoE mode, where each bucket row is shared by
-  // |options| frontier states — in energy mode each (bucket, option) pair is
-  // visited exactly once per step, so transitions are computed inline.
+  // Quantized Eq. 6 transition per (bucket, option), refilled each horizon
+  // step: each bucket row is shared by every prev-option slot in kMaxQoE
+  // mode and feeds the two-phase masked sweep in energy mode.
   std::vector<std::int32_t> next_bucket;
   std::vector<double> stall_s;
-  // Dense DP frontier tables (double-buffered).
-  std::vector<Node> frontier;
-  std::vector<Node> next;
+  // Energy-mode phase-1 candidate costs per (bucket, option): masked to
+  // +inf where strict constraints fail, so phase 2 is a pure min-scatter.
+  std::vector<double> cand_cost;
+  // Dense DP frontier tables (double-buffered, structure-of-arrays): the
+  // minimal cost to reach each state, the option chosen at horizon[0] on
+  // that minimal path, and whether that path stalled.
+  std::vector<double> frontier_cost;
+  std::vector<double> next_cost;
+  std::vector<std::int32_t> frontier_root;
+  std::vector<std::int32_t> next_root;
+  std::vector<unsigned char> frontier_stall;
+  std::vector<unsigned char> next_stall;
 
   // Bytes currently reserved across all vectors, and how many times any of
-  // them had to grow. Stable values across repeated same-shaped decide()
+  // them had to grow — each vector that grows within one decide() counts as
+  // its own growth event. Stable values across repeated same-shaped decide()
   // calls are the observable "zero allocations in steady state" contract.
   std::size_t capacity_bytes() const;
   std::uint64_t grow_events = 0;
@@ -150,6 +156,14 @@ class MpcController {
   // decision — the observer-inertness differential test pins this.
   void set_observer(obs::Observer* observer, std::uint32_t session);
 
+  // Attach a nullable cross-session plan cache (core/plan_cache.h). decide()
+  // then memoizes on the exact decision-state fingerprint; a hit replays the
+  // stored plan — observer emissions included — bit-identically to a fresh
+  // solve (pinned by the plan-cache differential tests). The cache is
+  // single-threaded: callers share one per fleet run / replication slot.
+  // decide_exhaustive() never consults it (it is the uncached reference).
+  void set_plan_cache(PlanCache* cache);
+
  private:
   // Fill q_ref[i] with the constraint-(8c) reference quality of horizon[i].
   // Shared by decide() and decide_exhaustive() so the ε-constraint anchor
@@ -157,6 +171,12 @@ class MpcController {
   void reference_qualities(const std::vector<SegmentChoices>& horizon,
                            util::BytesPerSec bandwidth,
                            std::vector<double>& q_ref) const;
+
+  // Emit the per-decide observer metrics and trace record (shared by the
+  // solve path and the plan-cache hit path, which must be indistinguishable
+  // to the observer).
+  void publish_decision(const MpcDecision& decision, bool relaxed_fallback,
+                        std::size_t horizon_len) const;
 
   MpcConfig config_;
   const power::DeviceModel* device_;
@@ -173,6 +193,13 @@ class MpcController {
   obs::MetricsRegistry::Id id_decides_ = 0;
   obs::MetricsRegistry::Id id_relaxed_ = 0;
   obs::MetricsRegistry::Id id_infeasible_ = 0;
+
+  // Nullable cross-session plan cache plus the (objective, config, device)
+  // fingerprint folded into every key — computed once at construction so
+  // the per-decide key path only hashes the live decision state.
+  PlanCache* plan_cache_ = nullptr;
+  std::uint64_t config_fp_hi_ = 0;
+  std::uint64_t config_fp_lo_ = 0;
 };
 
 // Reference quality for constraint (8c): the highest-(v,f) option the

@@ -1,0 +1,90 @@
+// PlanCache implementation: exact-key memoization with deterministic FIFO
+// eviction — no wall clock, no unordered containers, no pointer ordering.
+#include "core/plan_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ps360::core {
+
+void PlanKeyHasher::mix_double(double value) {
+  mix(std::bit_cast<std::uint64_t>(value));
+}
+
+PlanKey PlanKeyHasher::key() const {
+  // The per-word accumulation (see the header) is a cheap multiplicative
+  // chain; the avalanche lives here, once per key: cross-feed the lanes,
+  // then run each through splitmix64's output function. The cross-feed
+  // rotates: the top bit is a fixed point of any odd multiply mod 2^64, so
+  // without the rotation a word flipping only its top bit (e.g. +0.0 vs
+  // -0.0) would flip the top bit of both lanes and cancel in a symmetric
+  // hi ^ lo fold.
+  std::uint64_t a = hi_ ^ std::rotl(lo_ * 0x9E3779B97F4A7C15ULL, 32);
+  std::uint64_t b = lo_ ^ std::rotl(hi_ * 0xC2B2AE3D27D4EB4FULL, 32);
+  return PlanKey{util::splitmix64(a), util::splitmix64(b)};
+}
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ != kUnbounded && capacity_ > 0) {
+    // Reserve the ring lazily via push_back below; small capacities still
+    // get one exact allocation here.
+    fifo_.reserve(std::min<std::size_t>(capacity_, 1024));
+  }
+}
+
+const PlanCache::Entry* PlanCache::find(const PlanKey& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void PlanCache::insert(const PlanKey& key, const Entry& entry) {
+  PS360_CHECK(entry.root >= 0);  // a cached plan must carry a real choice
+  if (capacity_ == 0) return;
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second = entry;  // resident: overwrite in place, age unchanged
+    return;
+  }
+  if (capacity_ != kUnbounded && map_.size() == capacity_) {
+    // Evict the oldest insertion and recycle its ring slot for the new key;
+    // advancing head_ keeps fifo_[head_] the oldest resident.
+    map_.erase(fifo_[head_]);
+    ++evictions_;
+    fifo_[head_] = key;
+    head_ = (head_ + 1) % capacity_;
+  } else if (capacity_ != kUnbounded) {
+    fifo_.push_back(key);
+  }
+  map_.emplace(key, entry);
+  ++insertions_;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.insertions = insertions_;
+  s.entries = map_.size();
+  // Estimate: tree node payload + per-node bookkeeping (3 child/parent
+  // pointers + color, rounded to 4 words) + the FIFO ring slots.
+  s.bytes = map_.size() * (sizeof(PlanKey) + sizeof(Entry) + 4 * sizeof(void*)) +
+            fifo_.capacity() * sizeof(PlanKey);
+  return s;
+}
+
+void PlanCache::clear() {
+  map_.clear();
+  fifo_.clear();
+  head_ = 0;
+}
+
+}  // namespace ps360::core

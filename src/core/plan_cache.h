@@ -1,0 +1,129 @@
+// Cross-session MPC plan cache — the fleet-scale solver batching layer
+// (ROADMAP item 4).
+//
+// Thousands of sessions streaming the same popular video under similar
+// bandwidth/buffer conditions re-solve identical MPC horizons. decide()
+// therefore memoizes on an exact 128-bit fingerprint of everything its
+// output depends on: the objective + controller config + device power model
+// (folded once into a config fingerprint), the quantized buffer bucket (the
+// DP reads the start buffer only through bucket_of, so the bucket is a
+// lossless sufficient statistic), the raw bandwidth-estimate bits, the raw
+// prev-Qo bits (kMaxQoE only — the energy objective provably never reads
+// it), and the full horizon ladder (per option: v, f, fps, bytes, Qo,
+// decode profile). Exact-bit keys are what make cache-on ≡ cache-off
+// bit-identical: hits come from genuinely identical decision states, never
+// from bucketing real-valued inputs.
+//
+// Determinism contract: no wall-clock reads anywhere; eviction is
+// insertion-order (FIFO) over ordered containers, so iteration and eviction
+// order are reproducible; capacity bounds are exact. One cache is owned per
+// fleet run — i.e. per replication slot in run_fleet_replications — so
+// results are bit-identical for any PS360_THREADS, merged slot-order like
+// the obs metrics registries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace ps360::core {
+
+// Exact 128-bit decision-state fingerprint. Two independent splitmix64
+// lanes; a false collision needs both to collide (~2^-128 per pair).
+struct PlanKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator<(const PlanKey& a, const PlanKey& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+  friend bool operator==(const PlanKey& a, const PlanKey& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+};
+
+// Incremental two-lane hasher producing a PlanKey. Doubles are folded by
+// exact bit pattern — no quantisation ever happens on the key path.
+//
+// mix() is the hit path's hot loop (hundreds of words per horizon), so each
+// lane is a 3-op multiplicative accumulation — xor-multiply and add-multiply
+// with distinct odd constants, each step a bijection of the lane state — and
+// the full avalanche is deferred to key(), which cross-feeds the lanes and
+// finalizes both through splitmix64. Each lane behaves like an independent
+// 64-bit polynomial hash; a false hit needs both to collide at once.
+class PlanKeyHasher {
+ public:
+  void mix(std::uint64_t word) {
+    hi_ = (hi_ ^ word) * 0x9E3779B97F4A7C15ULL;
+    lo_ = (lo_ + word) * 0xC2B2AE3D27D4EB4FULL;
+  }
+  void mix_double(double value);
+  PlanKey key() const;
+
+ private:
+  // Arbitrary fixed lane seeds (pi digits), distinct so the lanes decohere.
+  std::uint64_t hi_ = 0x243F6A8885A308D3ULL;
+  std::uint64_t lo_ = 0x13198A2E03707344ULL;
+};
+
+// Memoized MPC plans, keyed by PlanKey. Single-threaded by design: one
+// cache per fleet run / replication slot (see the header comment).
+class PlanCache {
+ public:
+  // Capacity sentinel: never evict.
+  static constexpr std::size_t kUnbounded = static_cast<std::size_t>(-1);
+
+  // The memoized solver outcome: the root option *index* (the option itself
+  // is rebuilt from the live horizon, which the key proves identical) plus
+  // the exact objective/feasibility/fallback bits decide() reported, so a
+  // hit replays the solve — observer emissions included — bit-for-bit.
+  struct Entry {
+    std::int32_t root = -1;  // index into horizon[0].options
+    double objective = 0.0;
+    bool feasible = false;
+    bool relaxed_fallback = false;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t insertions = 0;
+    std::size_t entries = 0;  // resident now
+    std::size_t bytes = 0;    // estimated resident footprint
+  };
+
+  // `capacity` = maximum resident entries. 0 disables storage entirely
+  // (every find() misses, insert() drops); kUnbounded never evicts.
+  explicit PlanCache(std::size_t capacity = kUnbounded);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return map_.size(); }
+
+  // The cached entry, or nullptr. Counts a hit or a miss either way. The
+  // pointer is invalidated by the next insert()/clear().
+  const Entry* find(const PlanKey& key);
+
+  // Insert the entry, evicting the oldest insertion when at capacity.
+  // Re-inserting a resident key overwrites in place (age unchanged).
+  void insert(const PlanKey& key, const Entry& entry);
+
+  Stats stats() const;
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::map<PlanKey, Entry> map_;
+  // Insertion-order ring over the resident keys (bounded capacity only).
+  // Grows by push_back until it reaches capacity_, then recycles in place:
+  // fifo_[head_] is always the oldest resident key.
+  std::vector<PlanKey> fifo_;
+  std::size_t head_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t insertions_ = 0;
+};
+
+}  // namespace ps360::core

@@ -100,6 +100,12 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
   // the steady-state hot path performs no heap allocation (the zero-growth
   // regression test pins EventLoop growth to 0).
   const bool faults_on = config.session.faults.enabled;
+  // One plan cache per run_fleet call, shared by every session's MPC — the
+  // fleet-scale batching layer. The engine is single-threaded, so the cache
+  // needs no locking; FleetRunner calls run_fleet once per replication slot,
+  // which keeps results thread-count invariant.
+  std::optional<core::PlanCache> plan_cache;
+  if (config.plan_cache) plan_cache.emplace(config.plan_cache_capacity);
   std::vector<SessionRuntime> sessions(n);
   for (std::size_t i = 0; i < n; ++i) {
     SessionRuntime& rt = sessions[i];
@@ -118,6 +124,7 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
     }
     rt.accountant = std::make_unique<sim::SessionAccountant>(
         workload, test_user, config.scheme, session_config);
+    if (plan_cache) rt.accountant->attach_plan_cache(&*plan_cache);
     rt.client = std::make_unique<sim::StreamingClient>(
         rt.accountant->client_config(), workload, rt.accountant->scheme(),
         workload.test_trace(test_user));
@@ -358,6 +365,14 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
   stats.delivered_bytes = link.delivered_bytes();
   stats.offered_bytes =
       stats.makespan_s > 0.0 ? link_trace.bytes_in(0.0, stats.makespan_s) : 0.0;
+  if (plan_cache) {
+    const core::PlanCache::Stats cs = plan_cache->stats();
+    stats.plan_cache_hits = cs.hits;
+    stats.plan_cache_misses = cs.misses;
+    stats.plan_cache_evictions = cs.evictions;
+    stats.plan_cache_entries = cs.entries;
+    stats.plan_cache_bytes = cs.bytes;
+  }
   result.stats = stats;
 
   // End-of-run engine aggregates: counters add and gauges take max across
@@ -376,6 +391,18 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
     metrics.set_max(metrics.gauge("fleet.queue_peak"),
                     static_cast<double>(stats.queue_peak));
     metrics.set_max(metrics.gauge("fleet.makespan_s"), stats.makespan_s);
+    if (plan_cache) {
+      metrics.add(metrics.counter("plan_cache.hits"),
+                  static_cast<double>(stats.plan_cache_hits));
+      metrics.add(metrics.counter("plan_cache.misses"),
+                  static_cast<double>(stats.plan_cache_misses));
+      metrics.add(metrics.counter("plan_cache.evictions"),
+                  static_cast<double>(stats.plan_cache_evictions));
+      metrics.set_max(metrics.gauge("plan_cache.entries"),
+                      static_cast<double>(stats.plan_cache_entries));
+      metrics.set_max(metrics.gauge("plan_cache.bytes"),
+                      static_cast<double>(stats.plan_cache_bytes));
+    }
   }
   return result;
 }

@@ -44,6 +44,15 @@ struct FleetConfig {
   // replications out, it gives each replication a private observer and
   // merges them in slot order, so aggregates stay thread-count invariant.
   obs::Observer* observer = nullptr;
+  // Cross-session MPC plan cache (core/plan_cache.h): one cache per
+  // run_fleet call, shared by every session's controller — fleet-scale
+  // solver batching. The engine is single-threaded, and FleetRunner gives
+  // each replication its own run_fleet call, so per-slot caches keep results
+  // bit-identical for any PS360_THREADS. Provably inert: exact-key
+  // memoization makes cache-on ≡ cache-off (pinned by the plan-cache
+  // differential tests).
+  bool plan_cache = false;
+  std::size_t plan_cache_capacity = core::PlanCache::kUnbounded;
 };
 
 // Engine internals exposed for regression tests and capacity planning.
@@ -57,6 +66,12 @@ struct FleetStats {
   double makespan_s = 0.0;               // last session finish time
   double delivered_bytes = 0.0;          // bytes the link actually carried
   double offered_bytes = 0.0;            // integral of C(t) over the makespan
+  // Plan-cache outcome of this run (all zero when the cache is off).
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
+  std::uint64_t plan_cache_evictions = 0;
+  std::size_t plan_cache_entries = 0;    // resident at end of run
+  std::size_t plan_cache_bytes = 0;      // estimated resident footprint
 };
 
 struct FleetSessionResult {

@@ -120,6 +120,10 @@ class CtileScheme : public SchemeBase {
     controller_.set_observer(observer, session);
   }
 
+  void attach_plan_cache(core::PlanCache* cache) override {
+    controller_.set_plan_cache(cache);
+  }
+
   DownloadPlan plan(std::size_t k, const Viewport& predicted, double predicted_sfov,
                     util::BytesPerSec bandwidth, util::Seconds buffer,
                     double prev_qo) const override {
@@ -178,6 +182,10 @@ class FtileScheme : public SchemeBase {
 
   void attach_observer(obs::Observer* observer, std::uint32_t session) override {
     controller_.set_observer(observer, session);
+  }
+
+  void attach_plan_cache(core::PlanCache* cache) override {
+    controller_.set_plan_cache(cache);
   }
 
   DownloadPlan plan(std::size_t k, const Viewport& predicted, double predicted_sfov,
@@ -248,6 +256,10 @@ class NontileScheme : public SchemeBase {
     controller_.set_observer(observer, session);
   }
 
+  void attach_plan_cache(core::PlanCache* cache) override {
+    controller_.set_plan_cache(cache);
+  }
+
   DownloadPlan plan(std::size_t k, const Viewport&, double predicted_sfov,
                     util::BytesPerSec bandwidth, util::Seconds buffer,
                     double prev_qo) const override {
@@ -304,6 +316,11 @@ class PtileScheme : public SchemeBase {
   void attach_observer(obs::Observer* observer, std::uint32_t session) override {
     controller_.set_observer(observer, session);
     fallback_.attach_observer(observer, session);  // fallback solves count too
+  }
+
+  void attach_plan_cache(core::PlanCache* cache) override {
+    controller_.set_plan_cache(cache);
+    fallback_.attach_plan_cache(cache);  // fallback solves memoize too
   }
 
   DownloadPlan plan(std::size_t k, const Viewport& predicted, double predicted_sfov,

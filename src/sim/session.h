@@ -17,6 +17,7 @@
 //    switching speed.
 #pragma once
 
+#include "core/plan_cache.h"
 #include "power/energy.h"
 #include "predict/bandwidth_estimators.h"
 #include "predict/predictors.h"
@@ -63,6 +64,13 @@ struct SessionConfig {
   // `seed` above, and the fleet engine sets it per session.
   trace::FaultConfig faults;
   RecoveryConfig recovery;
+
+  // MPC plan cache (core/plan_cache.h). Off by default — provably inert
+  // when on (exact-key memoization; the plan-cache differential tests pin
+  // bit-identical results either way). `plan_cache_capacity` bounds resident
+  // entries; PlanCache::kUnbounded never evicts.
+  bool plan_cache = false;
+  std::size_t plan_cache_capacity = core::PlanCache::kUnbounded;
 };
 
 struct SegmentRecord {

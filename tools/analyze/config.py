@@ -23,8 +23,11 @@ RNG_EXEMPT = ("src/util/rng.h", "src/util/rng.cpp")
 # across reruns, schemes, and PS360_THREADS. The fleet engine, the
 # observability layer, the trace/fault synthesis layer, and the simulation
 # core are all inside the discipline (ROADMAP item 1 puts sharded event-loop
-# code here next).
-DETERMINISTIC_DIRS = ("src/fleet", "src/obs", "src/trace", "src/sim")
+# code here next). Individual files join too: the MPC plan cache promises
+# cache-on == cache-off bit-identicality, so its internals (no unordered
+# containers, no wall clock) are part of the same contract.
+DETERMINISTIC_DIRS = ("src/fleet", "src/obs", "src/trace", "src/sim",
+                      "src/core/plan_cache.h", "src/core/plan_cache.cpp")
 
 # Modules whose public entry points must validate inputs with
 # PS360_CHECK / PS360_ASSERT (util/check.h): all of src/.

@@ -130,7 +130,12 @@ class RepoContext:
         for sf in self.source_files():
             if suffixes and not sf.rel.endswith(suffixes):
                 continue
-            if under and not any(sf.rel.startswith(d + "/") for d in under):
+            # `under` entries are directories or single files: exact path
+            # matches let config scope a discipline to one file (e.g. the
+            # plan cache inside src/core).
+            if under and not any(
+                sf.rel == d or sf.rel.startswith(d + "/") for d in under
+            ):
                 continue
             out.append(sf)
         return out

@@ -18,6 +18,12 @@ Benchmarks present on only one side are reported and ignored: new benchmarks
 should not fail the gate, and retired ones should not block until the
 baseline is regenerated. A baseline whose names ALL miss the current run
 fails, though — that means the wrong file pair was wired up.
+
+--require NAME (repeatable) upgrades silence to failure for specific names:
+the run fails unless NAME was matched — present in both the current run and
+the baseline — in at least one pair. Use it for benchmarks the gate must
+actually cover — without it, a renamed or silently dropped benchmark
+degrades into an ignored "new"/"retired" note and the gate stops gating it.
 """
 
 from __future__ import annotations
@@ -30,10 +36,11 @@ from bench_report import fmt_time, load_benchmarks
 
 
 def guard(current_path: pathlib.Path, baseline_path: pathlib.Path,
-          tolerance: float) -> int:
+          tolerance: float, matched_out: set[str]) -> int:
     current = load_benchmarks(current_path)
     baseline = load_benchmarks(baseline_path)
     matched = sorted(set(current) & set(baseline))
+    matched_out.update(matched)
     if not matched:
         print(f"bench_guard.py: {current_path} and {baseline_path} share no "
               f"benchmark names; wrong pair?", file=sys.stderr)
@@ -63,22 +70,31 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=4.0,
                         help="max allowed current/baseline time ratio "
                              "(default: %(default)s)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless NAME is matched in at least one "
+                             "pair (repeatable)")
     args = parser.parse_args(argv)
     if args.tolerance <= 1.0:
         parser.error("--tolerance must be > 1.0")
 
     status = 0
+    matched: set[str] = set()
     for pair in args.pairs:
         head, sep, tail = pair.partition("=")
         if not sep or not head or not tail:
             parser.error(f"expected CURRENT=BASELINE, got '{pair}'")
         try:
             status |= guard(pathlib.Path(head), pathlib.Path(tail),
-                            args.tolerance)
+                            args.tolerance, matched)
         except (OSError, ValueError, KeyError) as err:
             print(f"bench_guard.py: cannot read pair '{pair}': {err}",
                   file=sys.stderr)
             status = 1
+    for name in sorted(set(args.require) - matched):
+        print(f"bench_guard.py: MISSING required benchmark '{name}' "
+              f"(not matched in any pair)", file=sys.stderr)
+        status = 1
     return status
 
 
