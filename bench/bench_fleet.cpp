@@ -20,8 +20,10 @@
 #include "obs/metrics.h"
 #include "obs/observer.h"
 #include "obs/tracer.h"
+#include "server/edge_cache.h"
 #include "sim/workload.h"
 #include "trace/video_catalog.h"
+#include "util/units.h"
 
 namespace {
 
@@ -162,6 +164,70 @@ void BM_FleetRunObserved(benchmark::State& state) {
 }
 BENCHMARK(BM_FleetRunObserved)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
 
+// The server/CDN tier under load: a 1000-session fleet through the two-tier
+// topology (edge cache + origin link), swept over cache size (MiB, arg1)
+// and Zipf skew (α × 100, arg2). The access cap binds (the plan-cache
+// regime) and the origin is provisioned for the fleet, so the MPC's plans
+// stay cache-independent and origin traffic is a pure function of miss
+// bytes — an under-provisioned origin would instead feed back through
+// bitrate adaptation (slower origin → smaller segments → fewer origin
+// bytes at *smaller* caches) and scramble the curve. LRU policy
+// throughout; the origin_mib column is the tracked trajectory
+// (bench_guard requires these rows) and decreases monotonically down each
+// α's sweep. hit_rate and stall_ratio tell the QoE side of the same
+// story. Picked up by the CI BM_FleetRun|BM_FleetEdgeCache filter.
+void BM_FleetEdgeCache(benchmark::State& state) {
+  const std::size_t sessions = static_cast<std::size_t>(state.range(0));
+  const double cache_mib = static_cast<double>(state.range(1));
+  const double alpha = static_cast<double>(state.range(2)) / 100.0;
+  const sim::VideoWorkload& workload = bench_workload();
+  const trace::NetworkTrace link = bench_link(sessions);
+  fleet::FleetConfig config;
+  config.sessions = sessions;
+  config.start_spread_s = 2.0;
+  config.access_cap_mbps = 2.0;  // binding (< the scaled link fair share)
+  config.server.enabled = true;
+  config.server.catalog = {/*videos=*/16, alpha};
+  config.server.cache_capacity = util::mebibytes(cache_mib);
+  config.server.policy = server::EvictionPolicy::kLru;
+  // Comfortably above worst-case total miss demand (every session at the
+  // 2 Mbps cap), so the miss cost is the origin latency, never origin
+  // queueing.
+  config.server.origin_mbps = 4.0 * static_cast<double>(sessions);
+  std::uint64_t hits = 0, misses = 0;
+  double origin_bytes = 0.0, stall_ratio = 0.0;
+  for (auto _ : state) {
+    const fleet::FleetResult result = fleet::run_fleet(workload, link, config);
+    hits += result.stats.cache_hits;
+    misses += result.stats.cache_misses;
+    origin_bytes += result.stats.origin_bytes.value();
+    stall_ratio += result.metrics(1.0).stall_ratio;
+    benchmark::DoNotOptimize(result.sessions.data());
+  }
+  const double iters = static_cast<double>(
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(state.iterations())));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sessions));
+  state.counters["sessions_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * sessions),
+      benchmark::Counter::kIsRate);
+  state.counters["hit_rate"] = benchmark::Counter(
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0);
+  state.counters["origin_mib"] = benchmark::Counter(
+      origin_bytes / (1024.0 * 1024.0) / iters);
+  state.counters["stall_ratio"] = benchmark::Counter(stall_ratio / iters);
+}
+BENCHMARK(BM_FleetEdgeCache)
+    ->Args({1000, 0, 80})
+    ->Args({1000, 8, 80})
+    ->Args({1000, 64, 80})
+    ->Args({1000, 0, 120})
+    ->Args({1000, 8, 120})
+    ->Args({1000, 64, 120})
+    ->Unit(benchmark::kMillisecond);
+
 // The fair-share recompute in isolation: start/finish churn over a standing
 // pool of flows, exercising the O(flows) water-fill per event.
 void BM_SharedLinkChurn(benchmark::State& state) {
@@ -172,7 +238,7 @@ void BM_SharedLinkChurn(benchmark::State& state) {
   for (auto _ : state) {
     fleet::SharedLink link(trace, flows);
     for (std::size_t s = 0; s < flows; ++s)
-      link.start(s, 1e5 + 1e3 * static_cast<double>(s),
+      link.start(s, util::Bytes(1e5 + 1e3 * static_cast<double>(s)),
                  util::BytesPerSec(s % 3 == 0 ? 2e5 : 0.0));
     std::size_t restarts_left = flows;  // one replacement flow per session
     while (const auto completion = link.next_completion()) {
@@ -180,7 +246,7 @@ void BM_SharedLinkChurn(benchmark::State& state) {
       link.finish(completion->session);
       if (restarts_left > 0) {
         --restarts_left;
-        link.start(completion->session, 5e4, util::BytesPerSec(0.0));
+        link.start(completion->session, util::Bytes(5e4), util::BytesPerSec(0.0));
       }
     }
     benchmark::DoNotOptimize(link.reallocations());

@@ -46,7 +46,9 @@ std::size_t MpcScratch::capacity_bytes() const {
              sizeof(unsigned char) +
          (next_bucket.capacity() + frontier_root.capacity() +
           next_root.capacity()) *
-             sizeof(std::int32_t);
+             sizeof(std::int32_t) +
+         (table_key_hi.capacity() + table_key_lo.capacity()) *
+             sizeof(std::uint64_t);
 }
 
 const QualityOption& reference_option(const SegmentChoices& choices,
@@ -338,10 +340,13 @@ MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
     return static_cast<std::size_t>(std::lround(std::min(raw_next, cap) / quantum));
   };
 
-  // Per-step (bucket × option) transition table, shared by both modes; the
-  // energy sweep additionally stages its masked candidate costs.
-  grow(scratch.next_bucket, buckets * max_options, scratch.grow_events);
-  grow(scratch.stall_s, buckets * max_options, scratch.grow_events);
+  // Per-step (bucket × option) transition tables — one slot per horizon step
+  // so each step's fill can be memoized (see MpcScratch) — shared by both
+  // modes; the energy sweep additionally stages its masked candidate costs.
+  grow(scratch.next_bucket, h * buckets * max_options, scratch.grow_events);
+  grow(scratch.stall_s, h * buckets * max_options, scratch.grow_events);
+  grow(scratch.table_key_hi, h, scratch.grow_events);
+  grow(scratch.table_key_lo, h, scratch.grow_events);
   if (energy_mode)
     grow(scratch.cand_cost, buckets * max_options, scratch.grow_events);
 
@@ -381,15 +386,38 @@ MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
       const double* download_s = scratch.download_s.data() + i * max_options;
       const unsigned char* eps_ok = scratch.eps_ok.data() + i * max_options;
 
-      // This step's Eq. 6 transitions, one row per bucket.
-      for (std::size_t b = 0; b < buckets; ++b) {
-        for (std::size_t oi = 0; oi < n_options; ++oi) {
-          double stall;
-          const std::size_t nb = transition(b, download_s[oi], stall);
-          scratch.next_bucket[b * max_options + oi] =
-              static_cast<std::int32_t>(nb);
-          scratch.stall_s[b * max_options + oi] = stall;
+      // This step's Eq. 6 transitions, one row per bucket — memoized on the
+      // exact bits of everything the fill reads that can vary between calls:
+      // the table layout and this step's download-time row (at_request_s,
+      // cap, quantum, and L are all fixed by the controller config, and the
+      // scratch arena is per-controller). The strict→relaxed fallback pass
+      // and same-shaped decide() calls under a pinned bandwidth estimate hit
+      // here and skip the lround loop entirely.
+      const std::size_t table_base = i * buckets * max_options;
+      std::int32_t* nb_tab = scratch.next_bucket.data() + table_base;
+      double* stall_tab = scratch.stall_s.data() + table_base;
+      PlanKeyHasher table_hasher;
+      table_hasher.mix(buckets);
+      table_hasher.mix(max_options);
+      table_hasher.mix(n_options);
+      for (std::size_t oi = 0; oi < n_options; ++oi)
+        table_hasher.mix_double(download_s[oi]);
+      const PlanKey table_key = table_hasher.key();
+      if (scratch.table_key_hi[i] == table_key.hi &&
+          scratch.table_key_lo[i] == table_key.lo) {
+        ++scratch.table_fill_hits;
+      } else {
+        for (std::size_t b = 0; b < buckets; ++b) {
+          for (std::size_t oi = 0; oi < n_options; ++oi) {
+            double stall;
+            const std::size_t nb = transition(b, download_s[oi], stall);
+            nb_tab[b * max_options + oi] = static_cast<std::int32_t>(nb);
+            stall_tab[b * max_options + oi] = stall;
+          }
         }
+        ++scratch.table_fills;
+        scratch.table_key_hi[i] = table_key.hi;
+        scratch.table_key_lo[i] = table_key.lo;
       }
 
       if (energy_mode) {
@@ -400,7 +428,7 @@ MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
         if (strict) {
           for (std::size_t b = 0; b < table_size; ++b) {
             const double base = scratch.frontier_cost[b];
-            const double* stall_row = scratch.stall_s.data() + b * max_options;
+            const double* stall_row = stall_tab + b * max_options;
             double* cand = scratch.cand_cost.data() + b * max_options;
             for (std::size_t oi = 0; oi < n_options; ++oi) {
               const bool ok = eps_ok[oi] != 0 && stall_row[oi] == 0.0;
@@ -410,7 +438,7 @@ MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
         } else {
           for (std::size_t b = 0; b < table_size; ++b) {
             const double base = scratch.frontier_cost[b];
-            const double* stall_row = scratch.stall_s.data() + b * max_options;
+            const double* stall_row = stall_tab + b * max_options;
             double* cand = scratch.cand_cost.data() + b * max_options;
             for (std::size_t oi = 0; oi < n_options; ++oi) {
               // Parenthesised as (step + penalty·stall) first: the exact
@@ -426,9 +454,8 @@ MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
           const std::int32_t node_root = scratch.frontier_root[b];
           const unsigned char node_stall = scratch.frontier_stall[b];
           const double* cand = scratch.cand_cost.data() + b * max_options;
-          const std::int32_t* nb_row =
-              scratch.next_bucket.data() + b * max_options;
-          const double* stall_row = scratch.stall_s.data() + b * max_options;
+          const std::int32_t* nb_row = nb_tab + b * max_options;
+          const double* stall_row = stall_tab + b * max_options;
           for (std::size_t oi = 0; oi < n_options; ++oi) {
             const double total = cand[oi];
             const std::size_t nb = static_cast<std::size_t>(nb_row[oi]);
@@ -467,9 +494,8 @@ MpcDecision MpcController::decide(const std::vector<SegmentChoices>& horizon,
               prev_slot == 0 ? prev_qo : horizon[i - 1].options[prev_slot - 1].qo;
           const std::int32_t node_root = scratch.frontier_root[state];
           const unsigned char node_stall = scratch.frontier_stall[state];
-          const std::int32_t* nb_row =
-              scratch.next_bucket.data() + b * max_options;
-          const double* stall_row = scratch.stall_s.data() + b * max_options;
+          const std::int32_t* nb_row = nb_tab + b * max_options;
+          const double* stall_row = stall_tab + b * max_options;
           for (std::size_t oi = 0; oi < n_options; ++oi) {
             const double stall = stall_row[oi];
             const double variation =

@@ -93,11 +93,22 @@ struct MpcScratch {
   std::vector<double> q_ref;            // per-segment reference quality
   // Buffer level available at request time per bucket (Eq. 6 Δt applied).
   std::vector<double> at_request_s;
-  // Quantized Eq. 6 transition per (bucket, option), refilled each horizon
-  // step: each bucket row is shared by every prev-option slot in kMaxQoE
-  // mode and feeds the two-phase masked sweep in energy mode.
+  // Quantized Eq. 6 transition tables, one (bucket × option) slot per
+  // horizon step (slot i at offset i · buckets · max_options): each bucket
+  // row is shared by every prev-option slot in kMaxQoE mode and feeds the
+  // two-phase masked sweep in energy mode. Slot i's fill is memoized on an
+  // exact fingerprint of its inputs (table layout + the step's download-time
+  // row bits — everything else the transition reads is fixed per controller
+  // config), so the strict→relaxed fallback pass and repeat horizons under a
+  // pinned bandwidth estimate skip the lround-heavy refill entirely. The
+  // memo is exact-key, so memo-on ≡ memo-off bit-identically (covered by
+  // the decide ≡ decide_exhaustive and plan-cache differentials).
   std::vector<std::int32_t> next_bucket;
   std::vector<double> stall_s;
+  std::vector<std::uint64_t> table_key_hi;  // per-step fill fingerprints
+  std::vector<std::uint64_t> table_key_lo;
+  std::uint64_t table_fills = 0;      // transition-table slot refills
+  std::uint64_t table_fill_hits = 0;  // refills skipped via fingerprint match
   // Energy-mode phase-1 candidate costs per (bucket, option): masked to
   // +inf where strict constraints fail, so phase 2 is a pure min-scatter.
   std::vector<double> cand_cost;
@@ -148,6 +159,14 @@ class MpcController {
   // both stay constant for repeated calls of the same horizon shape.
   std::size_t scratch_capacity_bytes() const { return scratch_.capacity_bytes(); }
   std::uint64_t scratch_grow_events() const { return scratch_.grow_events; }
+
+  // Transition-table memo observability (see MpcScratch): how many per-step
+  // (bucket × option) table fills ran vs. were skipped on an exact
+  // fingerprint match. The relaxed fallback pass alone makes hits common.
+  std::uint64_t scratch_table_fills() const { return scratch_.table_fills; }
+  std::uint64_t scratch_table_fill_hits() const {
+    return scratch_.table_fill_hits;
+  }
 
   // Attach a nullable metrics/trace observer (obs/observer.h). `session`
   // labels the trace records. decide() then counts solves and strict-vs-

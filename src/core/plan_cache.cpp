@@ -76,8 +76,9 @@ PlanCache::Stats PlanCache::stats() const {
   s.entries = map_.size();
   // Estimate: tree node payload + per-node bookkeeping (3 child/parent
   // pointers + color, rounded to 4 words) + the FIFO ring slots.
-  s.bytes = map_.size() * (sizeof(PlanKey) + sizeof(Entry) + 4 * sizeof(void*)) +
-            fifo_.capacity() * sizeof(PlanKey);
+  s.bytes = util::Bytes(static_cast<double>(
+      map_.size() * (sizeof(PlanKey) + sizeof(Entry) + 4 * sizeof(void*)) +
+      fifo_.capacity() * sizeof(PlanKey)));
   return s;
 }
 

@@ -27,6 +27,8 @@
 #include <map>
 #include <vector>
 
+#include "util/units.h"
+
 namespace ps360::core {
 
 // Exact 128-bit decision-state fingerprint. Two independent splitmix64
@@ -90,8 +92,8 @@ class PlanCache {
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t insertions = 0;
-    std::size_t entries = 0;  // resident now
-    std::size_t bytes = 0;    // estimated resident footprint
+    std::size_t entries = 0;   // resident now
+    util::Bytes bytes;         // estimated resident footprint
   };
 
   // `capacity` = maximum resident entries. 0 disables storage entirely

@@ -25,6 +25,11 @@ constexpr std::uint64_t kStartJitterStream = 0x5747A66E5ULL;
 // fault injection.
 constexpr std::uint64_t kRetrySeedStream = 0x4E74BAC0FFULL;
 
+// Breakpoint time of the flat origin-link trace: far past any makespan, so
+// the origin link never generates capacity-change events (a single-sample
+// trace would repeat every second and flood the queue with breakpoints).
+constexpr double kOriginTraceHorizonS = 1e9;
+
 // One session's live state inside the engine.
 struct SessionRuntime {
   std::unique_ptr<sim::SessionAccountant> accountant;
@@ -41,6 +46,7 @@ struct SessionRuntime {
   std::uint64_t attempt_seq = 0;  // tags deadline/admit events; bump = stale
   double attempt_elapsed = 0.0;   // radio-on seconds of failed attempts
   bool in_flight = false;         // a link flow exists for this session
+  bool origin_in_flight = false;  // an origin-link flow exists (server tier)
   sim::FailureReason fail_reason = sim::FailureReason::kTimeout;
 };
 
@@ -77,11 +83,18 @@ FleetMetrics FleetResult::metrics(double segment_seconds) const {
   m.stall_ratio = total_playback + total_stall > 0.0
                       ? total_stall / (total_playback + total_stall)
                       : 0.0;
-  m.link_utilization =
-      stats.offered_bytes > 0.0 ? stats.delivered_bytes / stats.offered_bytes : 0.0;
+  m.link_utilization = stats.offered_bytes.value() > 0.0
+                           ? stats.delivered_bytes / stats.offered_bytes
+                           : 0.0;
   m.mean_download_s = total_segments > 0
                           ? total_download_s / static_cast<double>(total_segments)
                           : 0.0;
+  const double cache_requests =
+      static_cast<double>(stats.cache_hits + stats.cache_misses);
+  m.cache_hit_rate = cache_requests > 0.0
+                         ? static_cast<double>(stats.cache_hits) / cache_requests
+                         : 0.0;
+  m.origin_bytes = stats.origin_bytes;
   return m;
 }
 
@@ -106,6 +119,37 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
   // which keeps results thread-count invariant.
   std::optional<core::PlanCache> plan_cache;
   if (config.plan_cache) plan_cache.emplace(config.plan_cache_capacity);
+  // Server/CDN tier: per-run catalog, edge cache, and origin link (same
+  // replication-slot discipline as the plan cache, see FleetServerConfig).
+  // The origin trace is flat with its only breakpoint far past any makespan,
+  // so the origin link never schedules capacity-change events.
+  const bool server_on = config.server.enabled;
+  std::optional<server::ZipfPopularity> popularity;
+  std::optional<server::EdgeCache> edge_cache;
+  std::optional<trace::NetworkTrace> origin_trace;
+  std::optional<SharedLink> origin_link;
+  std::vector<std::uint32_t> session_video;
+  if (server_on) {
+    PS360_CHECK(config.server.origin_mbps > 0.0);
+    PS360_CHECK(config.server.origin_latency_s >= 0.0);
+    popularity.emplace(config.server.catalog);
+    server::EdgeCacheConfig cache_config;
+    cache_config.capacity = config.server.cache_capacity;
+    cache_config.policy = config.server.policy;
+    cache_config.max_entries = config.server.cache_max_entries;
+    cache_config.video_weights = popularity->weights();
+    edge_cache.emplace(std::move(cache_config));
+    origin_trace.emplace(std::vector<trace::ThroughputSample>{
+        {0.0, config.server.origin_mbps},
+        {kOriginTraceHorizonS, config.server.origin_mbps}});
+    origin_link.emplace(*origin_trace, n);
+    session_video.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      util::Rng rng(
+          util::derive_seed(config.seed, server::kVideoPopularityStream, i));
+      session_video[i] = static_cast<std::uint32_t>(popularity->sample(rng));
+    }
+  }
   std::vector<SessionRuntime> sessions(n);
   for (std::size_t i = 0; i < n; ++i) {
     SessionRuntime& rt = sessions[i];
@@ -135,7 +179,7 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
   // rarely spans more than a few capacity breakpoints, so 8 slots per
   // session plus slack keeps growth at zero with a wide margin. Fault
   // injection adds a deadline and possibly an admit event per attempt.
-  EventLoop loop((faults_on ? 12 : 8) * n + 64);
+  EventLoop loop(((faults_on ? 12 : 8) + (server_on ? 4 : 0)) * n + 64);
   SharedLink link(link_trace, n);
   FleetStats stats;
 
@@ -177,13 +221,53 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
     loop.schedule(t + rt.pending->wait_s, i, EventKind::kFlowStart);
   };
 
+  const util::BytesPerSec access_cap(cap_bytes_per_s);
+
+  // Cache key of the pending request: the plan word packs the MPC's chosen
+  // encoding (quality level, frame-rate ladder index, decode profile), so
+  // two sessions share a cached object only when they picked the same
+  // representation — same as a CDN keyed on the encoded-segment URL.
+  const auto segment_key = [&](std::size_t i) {
+    const SessionRuntime& rt = sessions[i];
+    const core::QualityOption& opt = rt.pending->plan.option;
+    const std::uint64_t plan_word =
+        static_cast<std::uint64_t>(opt.quality) |
+        (static_cast<std::uint64_t>(opt.frame_index) << 24) |
+        (static_cast<std::uint64_t>(opt.profile) << 48);
+    return server::SegmentKey{session_video[i],
+                              static_cast<std::uint32_t>(rt.pending->segment),
+                              plan_word};
+  };
+
+  // Put the pending download onto the device-side link — or, with the
+  // server tier on and the segment absent from the edge cache, route the
+  // fetch through the origin first. flow_started_at stays at issue time, so
+  // the device-perceived download (and any stall it causes) includes the
+  // full miss cost: origin latency + origin transfer + edge transfer.
+  const auto admit_flow = [&](std::size_t i, double t) {
+    SessionRuntime& rt = sessions[i];
+    if (server_on && !edge_cache->lookup(segment_key(i))) {
+      loop.schedule(t + config.server.origin_latency_s, i,
+                    EventKind::kOriginStart, rt.attempt_seq);
+      return;
+    }
+    rt.in_flight = true;
+    link.start(i, util::Bytes(rt.pending->plan.option.bytes), access_cap);
+    obs::trace(observer, static_cast<std::uint32_t>(i),
+               obs::TraceEventKind::kDownloadStart,
+               static_cast<std::int64_t>(rt.pending->segment),
+               rt.pending->plan.option.bytes);
+  };
+
   std::uint64_t scheduled_generation = 0;  // link generation last predicted at
+  std::uint64_t scheduled_origin_generation = 0;  // ditto, origin link
   std::size_t done_count = 0;
 
   while (done_count < n) {
     const Event event = loop.pop();
     ++stats.events;
     link.advance_to(event.t);
+    if (server_on) origin_link->advance_to(event.t);
     if (observer != nullptr) {
       observer->now_s = event.t;
       if (observer->metrics != nullptr) observer->metrics->add(id_events);
@@ -248,13 +332,7 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
           }
         }
         rt.flow_started_at = event.t;
-        rt.in_flight = true;
-        link.start(event.session, rt.pending->plan.option.bytes,
-                   util::BytesPerSec(cap_bytes_per_s));
-        obs::trace(observer, static_cast<std::uint32_t>(event.session),
-                   obs::TraceEventKind::kDownloadStart,
-                   static_cast<std::int64_t>(rt.pending->segment),
-                   rt.pending->plan.option.bytes);
+        admit_flow(event.session, event.t);
         break;
       }
 
@@ -262,9 +340,42 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
         SessionRuntime& rt = sessions[event.session];
         if (!rt.pending.has_value() || event.generation != rt.attempt_seq)
           break;  // attempt already failed (deadline beat the spike)
+        admit_flow(event.session, event.t);
+        break;
+      }
+
+      case EventKind::kOriginStart: {
+        SessionRuntime& rt = sessions[event.session];
+        if (!rt.pending.has_value() || event.generation != rt.attempt_seq)
+          break;  // the attempt failed while the request travelled upstream
+        rt.origin_in_flight = true;
+        ++stats.origin_flows;
+        // Origin fetches are uncapped: the access cap models the device
+        // radio, not the edge's backhaul; concurrent misses share the
+        // origin capacity max-min fair.
+        origin_link->start(event.session,
+                           util::Bytes(rt.pending->plan.option.bytes),
+                           util::BytesPerSec(0.0));
+        break;
+      }
+
+      case EventKind::kOriginCompletion: {
+        if (event.generation != origin_link->generation()) {
+          ++stats.stale_completions;  // origin rates moved since predicted
+          if (observer != nullptr && observer->metrics != nullptr)
+            observer->metrics->add(id_stale);
+          break;
+        }
+        SessionRuntime& rt = sessions[event.session];
+        origin_link->finish(event.session);
+        rt.origin_in_flight = false;
+        // The object now sits at the edge: cache it, then start the
+        // device-side flow.
+        edge_cache->admit(segment_key(event.session),
+                          util::Bytes(rt.pending->plan.option.bytes));
         rt.in_flight = true;
-        link.start(event.session, rt.pending->plan.option.bytes,
-                   util::BytesPerSec(cap_bytes_per_s));
+        link.start(event.session, util::Bytes(rt.pending->plan.option.bytes),
+                   access_cap);
         obs::trace(observer, static_cast<std::uint32_t>(event.session),
                    obs::TraceEventKind::kDownloadStart,
                    static_cast<std::int64_t>(rt.pending->segment),
@@ -280,6 +391,11 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
         if (rt.in_flight) {
           link.abort(event.session);  // bumps generation: completion goes stale
           rt.in_flight = false;
+          ++stats.flow_aborts;
+        }
+        if (rt.origin_in_flight) {
+          origin_link->abort(event.session);  // pending origin completion stales
+          rt.origin_in_flight = false;
           ++stats.flow_aborts;
         }
         const double elapsed = event.t - rt.flow_started_at;
@@ -345,6 +461,15 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
                     EventKind::kFlowCompletion, link.generation());
       scheduled_generation = link.generation();
     }
+    // Same lazy-invalidation discipline for the origin link.
+    if (server_on && origin_link->generation() != scheduled_origin_generation &&
+        origin_link->active_flows() > 0) {
+      const auto completion = origin_link->next_completion();
+      PS360_ASSERT(completion.has_value());
+      loop.schedule(std::max(completion->t, event.t), completion->session,
+                    EventKind::kOriginCompletion, origin_link->generation());
+      scheduled_origin_generation = origin_link->generation();
+    }
   }
 
   FleetResult result;
@@ -353,6 +478,7 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
     FleetSessionResult out;
     out.session = i;
     out.test_user = i % workload.test_user_count();
+    out.video = server_on ? session_video[i] : 0;
     out.start_s = sessions[i].start_s;
     out.finish_s = sessions[i].finish_s;
     out.result = sessions[i].accountant->finish();
@@ -363,8 +489,18 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
   stats.queue_peak = loop.peak_size();
   stats.reallocations = link.reallocations();
   stats.delivered_bytes = link.delivered_bytes();
-  stats.offered_bytes =
-      stats.makespan_s > 0.0 ? link_trace.bytes_in(0.0, stats.makespan_s) : 0.0;
+  stats.offered_bytes = util::Bytes(
+      stats.makespan_s > 0.0 ? link_trace.bytes_in(0.0, stats.makespan_s) : 0.0);
+  if (server_on) {
+    const server::EdgeCacheStats& es = edge_cache->stats();
+    stats.cache_hits = es.hits;
+    stats.cache_misses = es.misses;
+    stats.cache_evictions = es.evictions;
+    stats.cache_insertions = es.insertions;
+    stats.cache_entries = es.entries;
+    stats.cache_resident = es.resident;
+    stats.origin_bytes = origin_link->delivered_bytes();
+  }
   if (plan_cache) {
     const core::PlanCache::Stats cs = plan_cache->stats();
     stats.plan_cache_hits = cs.hits;
@@ -385,7 +521,8 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
                 static_cast<double>(stats.reallocations));
     metrics.add(metrics.counter("fleet.flow_aborts"),
                 static_cast<double>(stats.flow_aborts));
-    metrics.add(metrics.counter("fleet.delivered_bytes"), stats.delivered_bytes);
+    metrics.add(metrics.counter("fleet.delivered_bytes"),
+                stats.delivered_bytes.value());
     metrics.add(metrics.counter("fleet.queue_grow_events"),
                 static_cast<double>(stats.queue_grow_events));
     metrics.set_max(metrics.gauge("fleet.queue_peak"),
@@ -401,7 +538,25 @@ FleetResult run_fleet(const sim::VideoWorkload& workload,
       metrics.set_max(metrics.gauge("plan_cache.entries"),
                       static_cast<double>(stats.plan_cache_entries));
       metrics.set_max(metrics.gauge("plan_cache.bytes"),
-                      static_cast<double>(stats.plan_cache_bytes));
+                      stats.plan_cache_bytes.value());
+    }
+    // Server metrics are registered only when the tier is on, so a disabled
+    // run's metrics output is byte-identical to the pre-server engine.
+    if (server_on) {
+      metrics.add(metrics.counter("server.cache_hits"),
+                  static_cast<double>(stats.cache_hits));
+      metrics.add(metrics.counter("server.cache_misses"),
+                  static_cast<double>(stats.cache_misses));
+      metrics.add(metrics.counter("server.cache_evictions"),
+                  static_cast<double>(stats.cache_evictions));
+      metrics.add(metrics.counter("server.origin_flows"),
+                  static_cast<double>(stats.origin_flows));
+      metrics.add(metrics.counter("server.origin_bytes"),
+                  stats.origin_bytes.value());
+      metrics.set_max(metrics.gauge("server.cache_entries"),
+                      static_cast<double>(stats.cache_entries));
+      metrics.set_max(metrics.gauge("server.cache_resident_bytes"),
+                      stats.cache_resident.value());
     }
   }
   return result;

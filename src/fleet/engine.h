@@ -20,9 +20,33 @@
 
 #include "fleet/event_loop.h"
 #include "fleet/shared_link.h"
+#include "server/edge_cache.h"
+#include "server/popularity.h"
 #include "sim/accounting.h"
 
 namespace ps360::fleet {
+
+// Server/CDN tier for the fleet (ROADMAP item 2): a Zipf(α) catalog assigns
+// each session a video id at spawn, an edge cache of encoded Ptile segments
+// absorbs repeat requests, and cache misses fetch through a shared origin
+// link (its own capacity, plus a fixed edge→origin latency) before the
+// device-side flow starts — so a miss costs real time and origin bytes.
+// Disabled (the default) the engine takes the exact pre-server code path:
+// no cache, no origin link, no extra events, bit-identical output.
+struct FleetServerConfig {
+  bool enabled = false;
+  // Catalog popularity. Sessions draw their video id via
+  // derive_seed(fleet seed, server::kVideoPopularityStream, session).
+  server::ZipfConfig catalog{/*videos=*/16, /*alpha=*/0.8};
+  // Edge cache sizing and eviction policy.
+  util::Bytes cache_capacity{64.0 * 1024.0 * 1024.0};
+  server::EvictionPolicy policy = server::EvictionPolicy::kLru;
+  std::size_t cache_max_entries = 4096;
+  // Origin link: capacity shared max-min fair by every concurrent miss
+  // fetch (> 0 when enabled), plus a per-miss edge→origin latency.
+  double origin_mbps = 200.0;
+  double origin_latency_s = 0.05;
+};
 
 struct FleetConfig {
   std::size_t sessions = 8;
@@ -53,6 +77,11 @@ struct FleetConfig {
   // differential tests).
   bool plan_cache = false;
   std::size_t plan_cache_capacity = core::PlanCache::kUnbounded;
+  // Server/CDN tier (edge cache + origin link). Same per-replication-slot
+  // discipline as the plan cache: one catalog/cache/origin link per
+  // run_fleet call, so FleetRunner results stay bit-identical for any
+  // PS360_THREADS; provably inert when disabled.
+  FleetServerConfig server;
 };
 
 // Engine internals exposed for regression tests and capacity planning.
@@ -64,19 +93,29 @@ struct FleetStats {
   std::size_t queue_peak = 0;            // max simultaneous queued events
   std::uint64_t reallocations = 0;       // link fair-share recomputes
   double makespan_s = 0.0;               // last session finish time
-  double delivered_bytes = 0.0;          // bytes the link actually carried
-  double offered_bytes = 0.0;            // integral of C(t) over the makespan
+  util::Bytes delivered_bytes;           // bytes the edge link actually carried
+  util::Bytes offered_bytes;             // integral of C(t) over the makespan
   // Plan-cache outcome of this run (all zero when the cache is off).
   std::uint64_t plan_cache_hits = 0;
   std::uint64_t plan_cache_misses = 0;
   std::uint64_t plan_cache_evictions = 0;
   std::size_t plan_cache_entries = 0;    // resident at end of run
-  std::size_t plan_cache_bytes = 0;      // estimated resident footprint
+  util::Bytes plan_cache_bytes;          // estimated resident footprint
+  // Server/CDN outcome of this run (all zero when the server tier is off).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_insertions = 0;
+  std::size_t cache_entries = 0;         // resident objects at end of run
+  util::Bytes cache_resident;            // resident bytes at end of run
+  std::uint64_t origin_flows = 0;        // miss fetches that hit the origin
+  util::Bytes origin_bytes;              // bytes the origin link carried
 };
 
 struct FleetSessionResult {
   std::size_t session = 0;
   std::size_t test_user = 0;  // head trace replayed by this session
+  std::size_t video = 0;      // Zipf-drawn video id (0 when the server is off)
   double start_s = 0.0;       // staggered entry time
   double finish_s = 0.0;      // wall time of the last segment completion
   sim::SessionResult result;  // same accounting as simulate_session
@@ -94,6 +133,8 @@ struct FleetMetrics {
   double stall_ratio = 0.0;        // Σ stall / (Σ stall + Σ playback)
   double link_utilization = 0.0;   // delivered / offered bytes
   double mean_download_s = 0.0;    // mean per-segment download time
+  double cache_hit_rate = 0.0;     // edge hits / requests (0 when server off)
+  util::Bytes origin_bytes;        // origin-link traffic (0 when server off)
 };
 
 struct FleetResult {

@@ -1,10 +1,12 @@
 // Deterministic discrete-event queue for the fleet engine.
 //
-// The fleet simulation advances through six event kinds: a session entering
-// the system, a download (flow) starting after its Eq. 6 wait, a flow
-// completing on the shared link, the bottleneck capacity changing at a
-// trace breakpoint, and — under fault injection — a per-attempt deadline
-// expiring and a latency-spiked flow finally admitting onto the link.
+// The fleet simulation advances through eight event kinds: a session
+// entering the system, a download (flow) starting after its Eq. 6 wait, a
+// flow completing on the shared link, the bottleneck capacity changing at a
+// trace breakpoint, under fault injection a per-attempt deadline expiring
+// and a latency-spiked flow finally admitting onto the link, and — with the
+// server/CDN layer enabled — an edge-cache miss reaching the origin link
+// after the edge→origin latency and that origin fetch completing.
 // EventLoop totally orders them by (time, session_id, sequence) — never by
 // pointer value or hash-container iteration order — so a fleet run is
 // bit-reproducible across platforms and thread counts.
@@ -36,6 +38,11 @@ enum class EventKind : std::uint8_t {
   // ones are discarded lazily, mirroring kFlowCompletion):
   kFlowDeadline = 4,    // per-attempt timeout expires; abort and retry
   kFlowAdmit = 5,       // latency spike over; the flow actually hits the link
+  // Server/CDN kinds (scheduled only when FleetServerConfig.enabled):
+  kOriginStart = 6,      // edge miss reaches the origin link (latency over);
+                         // carries the attempt sequence in `generation`
+  kOriginCompletion = 7, // predicted origin-fetch finish (validated against
+                         // the origin link's generation, like kFlowCompletion)
 };
 
 struct Event {

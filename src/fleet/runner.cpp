@@ -116,6 +116,14 @@ FleetAggregate aggregate_fleet(const std::vector<FleetResult>& results,
     pooled.stats.plan_cache_evictions += r.stats.plan_cache_evictions;
     pooled.stats.plan_cache_entries += r.stats.plan_cache_entries;
     pooled.stats.plan_cache_bytes += r.stats.plan_cache_bytes;
+    pooled.stats.cache_hits += r.stats.cache_hits;
+    pooled.stats.cache_misses += r.stats.cache_misses;
+    pooled.stats.cache_evictions += r.stats.cache_evictions;
+    pooled.stats.cache_insertions += r.stats.cache_insertions;
+    pooled.stats.cache_entries += r.stats.cache_entries;
+    pooled.stats.cache_resident += r.stats.cache_resident;
+    pooled.stats.origin_flows += r.stats.origin_flows;
+    pooled.stats.origin_bytes += r.stats.origin_bytes;
   }
   agg.metrics = pooled.metrics(segment_seconds);
   agg.stats = pooled.stats;

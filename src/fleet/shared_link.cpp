@@ -39,14 +39,14 @@ double SharedLink::cap_key(std::size_t session) const {
   return cap > 0.0 ? cap : std::numeric_limits<double>::infinity();
 }
 
-void SharedLink::start(std::size_t session, double bytes, util::BytesPerSec cap) {
+void SharedLink::start(std::size_t session, util::Bytes bytes, util::BytesPerSec cap) {
   const double cap_bytes_per_s = cap.value();
   PS360_CHECK(session < flows_.size());
   PS360_CHECK_MSG(!flows_[session].active, "session already has a flow in flight");
-  PS360_CHECK(bytes > 0.0);
+  PS360_CHECK(bytes.value() > 0.0);
 
   Flow& flow = flows_[session];
-  flow.remaining_bytes = bytes;
+  flow.remaining_bytes = bytes.value();
   flow.cap_bytes_per_s = cap_bytes_per_s;
   flow.rate_bytes_per_s = 0.0;
   flow.active = true;
@@ -150,9 +150,9 @@ std::optional<SharedLink::Completion> SharedLink::next_completion() const {
   return Completion{now_ + best_dt, best_session};
 }
 
-double SharedLink::remaining_bytes(std::size_t session) const {
+util::Bytes SharedLink::remaining_bytes(std::size_t session) const {
   PS360_CHECK(session < flows_.size());
-  return flows_[session].remaining_bytes;
+  return util::Bytes(flows_[session].remaining_bytes);
 }
 
 double SharedLink::rate_bytes_per_s(std::size_t session) const {

@@ -45,7 +45,7 @@ class SharedLink {
   double now() const { return now_; }
   std::size_t active_flows() const { return active_.size(); }
   std::uint64_t generation() const { return generation_; }
-  double delivered_bytes() const { return delivered_bytes_; }
+  util::Bytes delivered_bytes() const { return util::Bytes(delivered_bytes_); }
   std::uint64_t reallocations() const { return reallocations_; }
 
   // Current fair-share capacity at time t, bytes/s.
@@ -56,7 +56,7 @@ class SharedLink {
 
   // Register a flow of `bytes` (> 0) for `session` starting at now().
   // A `cap` <= 0 means uncapped. One flow per session at a time.
-  void start(std::size_t session, double bytes, util::BytesPerSec cap);
+  void start(std::size_t session, util::Bytes bytes, util::BytesPerSec cap);
 
   // Integrate every in-flight flow forward to t (>= now()) at the current
   // rates, then re-waterfill from C(t). The caller must not step across a
@@ -78,7 +78,7 @@ class SharedLink {
   std::optional<Completion> next_completion() const;
 
   // Test/metrics accessors.
-  double remaining_bytes(std::size_t session) const;
+  util::Bytes remaining_bytes(std::size_t session) const;
   double rate_bytes_per_s(std::size_t session) const;
 
  private:

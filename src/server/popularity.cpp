@@ -1,0 +1,46 @@
+// ZipfPopularity implementation: normalized rank table + cumulative sums in
+// the constructor, binary-search inverse-CDF per draw.
+#include "server/popularity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ps360::server {
+
+ZipfPopularity::ZipfPopularity(const ZipfConfig& config) : config_(config) {
+  PS360_CHECK(config.videos >= 1);
+  PS360_CHECK(config.alpha >= 0.0);
+  prob_.resize(config.videos);
+  cdf_.resize(config.videos);
+  double norm = 0.0;
+  for (std::size_t r = 0; r < config.videos; ++r) {
+    prob_[r] = 1.0 / std::pow(static_cast<double>(r + 1), config.alpha);
+    norm += prob_[r];
+  }
+  double cumulative = 0.0;
+  for (std::size_t r = 0; r < config.videos; ++r) {
+    prob_[r] /= norm;
+    cumulative += prob_[r];
+    cdf_[r] = cumulative;
+  }
+  // Pin the last cumulative to exactly 1 so a uniform draw of 1-ε can never
+  // fall off the end of the table.
+  cdf_.back() = 1.0;
+}
+
+double ZipfPopularity::probability(std::size_t rank) const {
+  PS360_CHECK(rank < prob_.size());
+  return prob_[rank];
+}
+
+std::size_t ZipfPopularity::sample(util::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+}  // namespace ps360::server

@@ -96,6 +96,11 @@ using BytesPerSec = Quantity<struct BytesPerSecTag>;
 // Viewport scan speed (the paper's S_fov): degrees of head motion per
 // second, the input to the frame-rate sensitivity factor.
 using DegPerSec = Quantity<struct DegPerSecTag>;
+// Byte counts crossing public APIs: segment sizes, link deliveries, cache
+// capacities. A double (not an integer) because the fluid link model and
+// the rate-x-time products that feed it are continuous; fractional bytes
+// are meaningful mid-transfer.
+using Bytes = Quantity<struct BytesTag>;
 
 // --- explicit conversions ---------------------------------------------------
 
@@ -142,6 +147,22 @@ constexpr double bytes_in(BytesPerSec rate, Seconds t) {
 constexpr Seconds transfer_time_bytes(double bytes, BytesPerSec rate) {
   return Seconds(bytes / rate.value());
 }
+
+// Typed rate/volume algebra: rate × time = volume, volume / rate = time,
+// volume / time = rate.
+constexpr Bytes operator*(BytesPerSec rate, Seconds t) {
+  return Bytes(rate.value() * t.value());
+}
+constexpr Bytes operator*(Seconds t, BytesPerSec rate) { return rate * t; }
+constexpr Seconds operator/(Bytes b, BytesPerSec rate) {
+  return Seconds(b.value() / rate.value());
+}
+constexpr BytesPerSec operator/(Bytes b, Seconds t) {
+  return BytesPerSec(b.value() / t.value());
+}
+
+// Cache capacities are quoted in MiB in configs and docs.
+constexpr Bytes mebibytes(double mib) { return Bytes(mib * 1024.0 * 1024.0); }
 
 // Head-motion speed over an interval: degrees swept / elapsed time.
 constexpr DegPerSec operator/(Degrees d, Seconds t) {

@@ -106,10 +106,10 @@ trace::NetworkTrace flat_trace(double mbps, double duration_s = 100.0) {
 TEST(SharedLinkTest, EqualShareWithoutCaps) {
   const trace::NetworkTrace trace = flat_trace(8.0);  // 1e6 bytes/s
   SharedLink link(trace, 4);
-  link.start(0, 1e6, util::BytesPerSec(0.0));
-  link.start(1, 1e6, util::BytesPerSec(0.0));
-  link.start(2, 1e6, util::BytesPerSec(0.0));
-  link.start(3, 1e6, util::BytesPerSec(0.0));
+  link.start(0, util::Bytes(1e6), util::BytesPerSec(0.0));
+  link.start(1, util::Bytes(1e6), util::BytesPerSec(0.0));
+  link.start(2, util::Bytes(1e6), util::BytesPerSec(0.0));
+  link.start(3, util::Bytes(1e6), util::BytesPerSec(0.0));
   for (std::size_t s = 0; s < 4; ++s)
     EXPECT_DOUBLE_EQ(link.rate_bytes_per_s(s), 0.25e6);
 }
@@ -117,9 +117,9 @@ TEST(SharedLinkTest, EqualShareWithoutCaps) {
 TEST(SharedLinkTest, WaterFillingRespectsCapsAndRedistributes) {
   const trace::NetworkTrace trace = flat_trace(8.0);  // 1e6 bytes/s
   SharedLink link(trace, 3);
-  link.start(0, 1e6, util::BytesPerSec(0.1e6));  // capped well below the fair share
-  link.start(1, 1e6, util::BytesPerSec(0.0));
-  link.start(2, 1e6, util::BytesPerSec(0.0));
+  link.start(0, util::Bytes(1e6), util::BytesPerSec(0.1e6));  // capped well below the fair share
+  link.start(1, util::Bytes(1e6), util::BytesPerSec(0.0));
+  link.start(2, util::Bytes(1e6), util::BytesPerSec(0.0));
   EXPECT_DOUBLE_EQ(link.rate_bytes_per_s(0), 0.1e6);
   // The freed 1/3 - 0.1 splits equally between the uncapped flows.
   EXPECT_DOUBLE_EQ(link.rate_bytes_per_s(1), 0.45e6);
@@ -133,12 +133,12 @@ TEST(SharedLinkTest, WaterFillingRespectsCapsAndRedistributes) {
 TEST(SharedLinkTest, CompletionAndRatePredictions) {
   const trace::NetworkTrace trace = flat_trace(8.0);  // 1e6 bytes/s
   SharedLink link(trace, 2);
-  link.start(0, 0.5e6, util::BytesPerSec(0.0));  // alone: finishes in 0.5 s
+  link.start(0, util::Bytes(0.5e6), util::BytesPerSec(0.0));  // alone: finishes in 0.5 s
   const auto first = link.next_completion();
   ASSERT_TRUE(first.has_value());
   EXPECT_DOUBLE_EQ(first->t, 0.5);
   link.advance_to(0.25);
-  link.start(1, 1.0e6, util::BytesPerSec(0.0));  // now both at 0.5e6 B/s
+  link.start(1, util::Bytes(1.0e6), util::BytesPerSec(0.0));  // now both at 0.5e6 B/s
   const auto second = link.next_completion();
   ASSERT_TRUE(second.has_value());
   EXPECT_EQ(second->session, 0u);
@@ -154,13 +154,13 @@ TEST(SharedLinkTest, ContractViolationsThrowAndDoNotCorruptFlows) {
   EXPECT_THROW(SharedLink(trace, 0), std::invalid_argument);
 
   SharedLink link(trace, 2);
-  EXPECT_THROW(link.start(2, 1e6, util::BytesPerSec(0.0)), std::invalid_argument);   // out of range
-  EXPECT_THROW(link.start(0, 0.0, util::BytesPerSec(0.0)), std::invalid_argument);   // no bytes
-  EXPECT_THROW(link.start(0, -1.0, util::BytesPerSec(0.0)), std::invalid_argument);  // negative
+  EXPECT_THROW(link.start(2, util::Bytes(1e6), util::BytesPerSec(0.0)), std::invalid_argument);   // out of range
+  EXPECT_THROW(link.start(0, util::Bytes(0.0), util::BytesPerSec(0.0)), std::invalid_argument);   // no bytes
+  EXPECT_THROW(link.start(0, util::Bytes(-1.0), util::BytesPerSec(0.0)), std::invalid_argument);  // negative
   EXPECT_THROW(link.finish(0), std::invalid_argument);            // nothing in flight
 
-  link.start(0, 1e6, util::BytesPerSec(0.0));
-  EXPECT_THROW(link.start(0, 1e6, util::BytesPerSec(0.0)), std::invalid_argument);  // double start
+  link.start(0, util::Bytes(1e6), util::BytesPerSec(0.0));
+  EXPECT_THROW(link.start(0, util::Bytes(1e6), util::BytesPerSec(0.0)), std::invalid_argument);  // double start
   link.advance_to(0.5);
   EXPECT_THROW(link.advance_to(0.25), std::invalid_argument);  // backwards
 
@@ -282,7 +282,7 @@ std::vector<double> link_completions(const trace::NetworkTrace& trace,
       ++done;
     } else if (t_arrival <= t_next) {
       const Arrival& a = arrivals[next_arrival++];
-      link.start(a.session, a.bytes, util::BytesPerSec(a.cap));
+      link.start(a.session, util::Bytes(a.bytes), util::BytesPerSec(a.cap));
     }
     // Capacity changes need no explicit handling: advance_to re-waterfilled.
   }

@@ -140,7 +140,7 @@ TEST(ObsDifferentialTest, FleetResultsAreBitIdenticalObserverOnVsOff) {
   EXPECT_EQ(metrics.value("fleet.stale_completions"),
             static_cast<double>(on.stats.stale_completions));
   EXPECT_EQ(metrics.value("fleet.makespan_s"), on.stats.makespan_s);
-  EXPECT_EQ(metrics.value("fleet.delivered_bytes"), on.stats.delivered_bytes);
+  EXPECT_EQ(metrics.value("fleet.delivered_bytes"), on.stats.delivered_bytes.value());
 }
 
 // ------------------------------------------------- run_fleet_replications

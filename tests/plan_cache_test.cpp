@@ -11,7 +11,9 @@
 //    0 / tiny (forced eviction) / unbounded and any worker thread count.
 //  * MpcScratch::grow_events accounting: a first decide() counts each vector
 //    that grows (pinned exactly per objective), steady state stays at zero,
-//    and a deeper horizon grows exactly the per-segment vectors.
+//    and a deeper horizon grows exactly the h-scaled vectors.
+//  * The transition-table memo: identical solves refill nothing, bandwidth
+//    changes refill everything, the relaxed fallback pass hits.
 #include <gtest/gtest.h>
 
 #include <cstddef>
@@ -127,7 +129,7 @@ TEST(PlanCacheTest, EvictsInInsertionOrder) {
   EXPECT_EQ(s.evictions, 2u);
   EXPECT_EQ(s.insertions, 4u);
   EXPECT_EQ(s.entries, 2u);
-  EXPECT_GT(s.bytes, 0u);
+  EXPECT_GT(s.bytes.value(), 0.0);
 }
 
 TEST(PlanCacheTest, ResidentReinsertOverwritesWithoutEviction) {
@@ -304,10 +306,11 @@ std::vector<SegmentChoices> fixed_horizon(std::size_t h, std::size_t options_n,
 
 TEST(ScratchGrowAccounting, FirstDecideCountsEveryVectorThatGrows) {
   // Each vector that grows within one decide() is its own growth event. The
-  // arena has 14 vectors on the energy path (8 precompute/transition + 6
-  // frontier) and 13 on the kMaxQoE path (no cand_cost), all growing from
-  // empty on the first call — so the first-call count is pinned exactly, not
-  // just "positive". A lumped per-call counter would report 1 here.
+  // arena has 16 vectors on the energy path (8 precompute/transition + 2
+  // transition-memo keys + 6 frontier) and 15 on the kMaxQoE path (no
+  // cand_cost), all growing from empty on the first call — so the first-call
+  // count is pinned exactly, not just "positive". A lumped per-call counter
+  // would report 1 here.
   const MpcConfig config;
   const power::DeviceModel& device = power::device_model(Device::kPixel3);
   const auto horizon = fixed_horizon(5, 8, 3);
@@ -315,11 +318,11 @@ TEST(ScratchGrowAccounting, FirstDecideCountsEveryVectorThatGrows) {
   const MpcController energy(config, device,
                              MpcObjective::kMinEnergyQoEConstrained);
   (void)energy.decide(horizon, util::BytesPerSec(5e5), util::Seconds(2.5), 50.0);
-  EXPECT_EQ(energy.scratch_grow_events(), 14u);
+  EXPECT_EQ(energy.scratch_grow_events(), 16u);
 
   const MpcController qoe(config, device, MpcObjective::kMaxQoE);
   (void)qoe.decide(horizon, util::BytesPerSec(5e5), util::Seconds(2.5), 50.0);
-  EXPECT_EQ(qoe.scratch_grow_events(), 13u);
+  EXPECT_EQ(qoe.scratch_grow_events(), 15u);
 }
 
 TEST(ScratchGrowAccounting, SteadyStateIsZeroAndDeeperHorizonGrowsPerSegmentVectors) {
@@ -336,13 +339,50 @@ TEST(ScratchGrowAccounting, SteadyStateIsZeroAndDeeperHorizonGrowsPerSegmentVect
     (void)controller.decide(h5, util::BytesPerSec(5e5), util::Seconds(2.5), 50.0);
   EXPECT_EQ(controller.scratch_grow_events(), after_warm);
 
-  // Doubling the horizon (same option count) grows exactly the four
-  // per-(segment, option) / per-segment vectors: step_cost, download_s,
-  // eps_ok, q_ref. Buckets and max_options are unchanged, so the transition
-  // tables and the frontier stay put.
+  // Doubling the horizon (same option count) grows exactly the eight
+  // h-scaled vectors: step_cost, download_s, eps_ok, q_ref, plus the
+  // per-step transition tables and their memo keys (next_bucket, stall_s,
+  // table_key_hi, table_key_lo). Buckets and max_options are unchanged, so
+  // the frontier stays put.
   const auto h10 = fixed_horizon(10, 8, 3);
   (void)controller.decide(h10, util::BytesPerSec(5e5), util::Seconds(2.5), 50.0);
-  EXPECT_EQ(controller.scratch_grow_events(), after_warm + 4u);
+  EXPECT_EQ(controller.scratch_grow_events(), after_warm + 8u);
+}
+
+TEST(ScratchGrowAccounting, TransitionTableMemoSkipsRepeatFills) {
+  // The per-step transition tables are memoized on exact input bits, so an
+  // identical decide() refills nothing, and changing the bandwidth (which
+  // changes every download-time row) refills everything. The decide ≡
+  // decide_exhaustive and plan-cache differentials pin that skipping the
+  // fill never changes a decision.
+  const MpcConfig config;
+  const power::DeviceModel& device = power::device_model(Device::kPixel3);
+  const MpcController controller(config, device,
+                                 MpcObjective::kMinEnergyQoEConstrained);
+  const auto horizon = fixed_horizon(5, 8, 3);
+
+  (void)controller.decide(horizon, util::BytesPerSec(5e5), util::Seconds(2.5), 50.0);
+  const std::uint64_t fills_warm = controller.scratch_table_fills();
+  const std::uint64_t hits_warm = controller.scratch_table_fill_hits();
+  EXPECT_GE(fills_warm, 1u);
+
+  // Identical solves: every step's fingerprint matches, zero new fills.
+  for (int rep = 0; rep < 3; ++rep)
+    (void)controller.decide(horizon, util::BytesPerSec(5e5), util::Seconds(2.5), 50.0);
+  EXPECT_EQ(controller.scratch_table_fills(), fills_warm);
+  EXPECT_GT(controller.scratch_table_fill_hits(), hits_warm);
+
+  // A new bandwidth estimate perturbs every download row bit-exactly: all
+  // visited slots must refill rather than reuse stale tables.
+  (void)controller.decide(horizon, util::BytesPerSec(4e5), util::Seconds(2.5), 50.0);
+  EXPECT_GT(controller.scratch_table_fills(), fills_warm);
+
+  // A hopeless horizon runs strict then relaxed over the same tables: the
+  // fallback pass hits at least the slot the strict pass filled.
+  const MpcController fallback(config, device,
+                               MpcObjective::kMinEnergyQoEConstrained);
+  (void)fallback.decide(horizon, util::BytesPerSec(1e3), util::Seconds(0.0), 50.0);
+  EXPECT_GE(fallback.scratch_table_fill_hits(), 1u);
 }
 
 // -------------------------------------------- session/fleet differential

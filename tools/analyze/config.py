@@ -21,12 +21,14 @@ RNG_EXEMPT = ("src/util/rng.h", "src/util/rng.cpp")
 
 # Deterministic subsystems: replayable simulations — bit-identical output
 # across reruns, schemes, and PS360_THREADS. The fleet engine, the
-# observability layer, the trace/fault synthesis layer, and the simulation
-# core are all inside the discipline (ROADMAP item 1 puts sharded event-loop
-# code here next). Individual files join too: the MPC plan cache promises
-# cache-on == cache-off bit-identicality, so its internals (no unordered
-# containers, no wall clock) are part of the same contract.
+# observability layer, the trace/fault synthesis layer, the server/CDN tier
+# (Zipf catalog + edge cache, one instance per replication slot), and the
+# simulation core are all inside the discipline (ROADMAP item 1 puts sharded
+# event-loop code here next). Individual files join too: the MPC plan cache
+# promises cache-on == cache-off bit-identicality, so its internals (no
+# unordered containers, no wall clock) are part of the same contract.
 DETERMINISTIC_DIRS = ("src/fleet", "src/obs", "src/trace", "src/sim",
+                      "src/server",
                       "src/core/plan_cache.h", "src/core/plan_cache.cpp")
 
 # Modules whose public entry points must validate inputs with
