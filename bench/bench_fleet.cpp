@@ -1,14 +1,20 @@
 // google-benchmark microbenchmarks for the fleet engine: end-to-end fleets
-// of 1/8/64 MPC clients over a shared bottleneck, plus the SharedLink
-// water-filling step in isolation.
+// of 1 to 1M MPC clients over a shared bottleneck (serial and sharded
+// engine, see DESIGN.md §15), plus the SharedLink water-filling step in
+// isolation.
 //
 // The fleet rows are a tracked perf trajectory next to the MPC solver: CI
 // emits machine-readable results with
-//   bench_fleet --benchmark_filter=BM_FleetRun --benchmark_min_time=0.05
+//   bench_fleet --benchmark_filter=... --benchmark_min_time=0.05
 //     --benchmark_out=BENCH_fleet.json --benchmark_out_format=json
 // and tools/bench_report.py renders them next to BENCH_mpc.json. The
-// sessions_per_s counter is the headline number: whole streaming sessions
-// simulated per wall-clock second.
+// events_per_s counter is the headline number — discrete events the engine
+// retires per wall-clock second — with sessions_per_s alongside. BM_FleetRun
+// takes (sessions, shards); shards=0 resolves PS360_THREADS / hardware
+// concurrency, and bench_guard --require-faster gates that the sharded 10k
+// row actually beats the serial one. The 1M row is registered for the
+// EXPERIMENTS.md §1M recipe but excluded from the CI filter (it needs
+// multiple GiB of RAM and minutes of wall clock).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -51,13 +57,20 @@ trace::NetworkTrace bench_link(std::size_t sessions) {
   return trace::synthesize_network_trace(config);
 }
 
+// (sessions, shards): shards=1 is the serial engine, 0 resolves like
+// sim::resolve_thread_count (PS360_THREADS, else hardware concurrency).
+// Output is bit-identical across the shard axis (the fleet_shard_test
+// battery enforces it), so the serial/sharded delta at equal sessions is
+// pure wall-clock speedup from speculative MPC solves.
 void BM_FleetRun(benchmark::State& state) {
   const std::size_t sessions = static_cast<std::size_t>(state.range(0));
+  const std::size_t shards = static_cast<std::size_t>(state.range(1));
   const sim::VideoWorkload& workload = bench_workload();
   const trace::NetworkTrace link = bench_link(sessions);
   fleet::FleetConfig config;
   config.sessions = sessions;
   config.start_spread_s = 2.0;
+  config.shards = shards;
   std::uint64_t events = 0;
   for (auto _ : state) {
     const fleet::FleetResult result = fleet::run_fleet(workload, link, config);
@@ -66,6 +79,9 @@ void BM_FleetRun(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(sessions));
+  // Headline: discrete events retired per wall-clock second.
+  state.counters["events_per_s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
   state.counters["sessions_per_s"] = benchmark::Counter(
       static_cast<double>(state.iterations() * sessions),
       benchmark::Counter::kIsRate);
@@ -75,10 +91,14 @@ void BM_FleetRun(benchmark::State& state) {
                              1, static_cast<std::uint64_t>(state.iterations()))));
 }
 BENCHMARK(BM_FleetRun)
-    ->Arg(1)
-    ->Arg(8)
-    ->Arg(64)
-    ->Arg(1000)
+    ->Args({1, 1})
+    ->Args({8, 1})
+    ->Args({64, 1})
+    ->Args({1000, 1})
+    ->Args({10000, 1})
+    ->Args({10000, 0})
+    ->Args({100000, 0})
+    ->Args({1000000, 0})  // EXPERIMENTS.md recipe only; excluded from CI
     ->Unit(benchmark::kMillisecond);
 
 // Fleet-scale solver batching: the same fleet under a binding per-session

@@ -13,13 +13,28 @@
 // change that can invalidate that prediction bumps generation(), which the
 // engine uses to lazily discard stale completion events.
 //
+// Two interchangeable regimes (same public API, same contracts):
+//  * Uniform-cap fast path. Whenever every active flow shares one cap value
+//    (the fleet engine's regime: all device flows share access_cap_mbps, all
+//    origin flows are uncapped), max-min degenerates to a single shared rate
+//    r(t) = min(cap, C(t)/N). The link then runs on a virtual per-flow byte
+//    clock V(t) (dV = r dt): a flow started at V_start completes when V
+//    reaches V_start + bytes, so completions live in a (V_end, session)
+//    min-heap with lazy per-flow tombstones — O(1) integration and O(log n)
+//    per start/finish, which is what lets one replication scale to 100k–1M
+//    sessions (DESIGN.md §15).
+//  * General water-fill. The first start() whose cap differs from the
+//    resident uniform cap materializes per-flow remaining bytes from the
+//    virtual clock and falls back to the O(flows)-per-event single-pass
+//    water-fill over the (cap, session)-sorted active set. When the link
+//    drains empty it re-enters the uniform regime (and resets the virtual
+//    clock, keeping V small).
+//
 // Invariants (differential-tested against a brute-force fluid simulation):
-//  * fair-share recompute is O(flows) per event — the active set is kept
-//    sorted by (cap, session) so water-filling is a single pass;
 //  * Σ rates == min(C(t), Σ caps) whenever a flow is uncapped or capacity
 //    binds — the link never invents or wastes deliverable capacity;
-//  * determinism: the active order is (cap, session), never insertion or
-//    pointer order.
+//  * determinism: completion ties break on the smaller session id; ordering
+//    never depends on insertion or pointer order.
 #pragma once
 
 #include <cstdint>
@@ -43,7 +58,7 @@ class SharedLink {
   SharedLink(const trace::NetworkTrace& trace, std::size_t max_sessions);
 
   double now() const { return now_; }
-  std::size_t active_flows() const { return active_.size(); }
+  std::size_t active_flows() const { return active_count_; }
   std::uint64_t generation() const { return generation_; }
   util::Bytes delivered_bytes() const { return util::Bytes(delivered_bytes_); }
   std::uint64_t reallocations() const { return reallocations_; }
@@ -80,23 +95,53 @@ class SharedLink {
   // Test/metrics accessors.
   util::Bytes remaining_bytes(std::size_t session) const;
   double rate_bytes_per_s(std::size_t session) const;
+  bool uniform_regime() const { return uniform_; }  // test observability
 
  private:
   struct Flow {
-    double remaining_bytes = 0.0;
+    double remaining_bytes = 0.0;  // general regime only
+    double v_end = 0.0;            // uniform regime: V at which the flow ends
     double cap_bytes_per_s = 0.0;  // <= 0: uncapped
-    double rate_bytes_per_s = 0.0;
+    double rate_bytes_per_s = 0.0; // general regime only
+    std::uint32_t flow_seq = 0;    // tombstones stale completion-heap entries
     bool active = false;
   };
 
-  // Water-fill C(now) over the active flows (ascending cap order). Bumps
-  // generation_ when any rate changed.
+  // Completion-heap entry for the uniform regime; stale when flow_seq no
+  // longer matches the session's flow (finished/aborted/restarted).
+  struct HeapEntry {
+    double v_end = 0.0;
+    std::size_t session = 0;
+    std::uint32_t flow_seq = 0;
+  };
+  static bool heap_after(const HeapEntry& a, const HeapEntry& b);
+
+  // General regime: water-fill C(now) over the active flows (ascending cap
+  // order). Bumps generation_ when any rate changed.
   void reallocate();
   double cap_key(std::size_t session) const;
 
+  // Uniform regime: recompute the shared rate from C(now) and the active
+  // count. Bumps generation_ when it changed.
+  void refresh_uniform_rate();
+  // Pop tombstoned entries so the heap top is always a live flow.
+  void prune_heap();
+  // Link drained empty: re-enter the uniform regime, reset the virtual clock.
+  void reset_epoch();
+  // A start() broke cap uniformity: materialize per-flow remaining bytes and
+  // the sorted active set from the virtual clock, switch to water-filling.
+  void fall_back_to_general();
+  void remove_flow(std::size_t session);
+
   const trace::NetworkTrace* trace_;
   std::vector<Flow> flows_;          // indexed by session id
-  std::vector<std::size_t> active_;  // session ids sorted by (cap, session)
+  std::vector<std::size_t> active_;  // general regime: (cap, session)-sorted
+  std::vector<HeapEntry> heap_;      // uniform regime: completion min-heap
+  std::size_t active_count_ = 0;
+  bool uniform_ = true;
+  double uniform_cap_ = 0.0;         // shared cap while uniform (<= 0: none)
+  double uniform_rate_ = 0.0;        // shared per-flow rate r(t)
+  double virtual_bytes_ = 0.0;       // V(t): per-flow bytes since the epoch
   double now_ = 0.0;
   std::uint64_t generation_ = 0;
   double delivered_bytes_ = 0.0;

@@ -89,18 +89,37 @@ std::optional<ClientRequest> StreamingClient::plan_next() {
   PS360_CHECK_MSG(!awaiting_download_,
                   "plan_next called before completing the previous download");
   if (finished()) return std::nullopt;
+  begin_plan();
+  return finish_plan();
+}
 
-  const double L = config_.mpc.segment_seconds;
-  const std::size_t k = next_segment_;
+double StreamingClient::begin_plan() {
+  PS360_CHECK_MSG(!awaiting_download_,
+                  "begin_plan called before completing the previous download");
+  PS360_CHECK_MSG(!planning_, "begin_plan called twice without finish_plan");
+  PS360_CHECK_MSG(!finished(), "begin_plan called past the last segment");
 
   ClientRequest request;
-  request.segment = k;
+  request.segment = next_segment_;
 
   // Δt of Eq. 6: wait while above the threshold; playback drains meanwhile.
   request.wait_s = std::max(buffer_s_ - config_.mpc.buffer_threshold_s, 0.0);
   wall_t_ += request.wait_s;
   buffer_s_ -= request.wait_s;
   request.buffer_at_request_s = buffer_s_;
+
+  current_request_ = request;  // staged; finish_plan completes the fields
+  planning_ = true;
+  return request.wait_s;
+}
+
+ClientRequest StreamingClient::finish_plan() {
+  PS360_CHECK_MSG(planning_, "finish_plan without a begin_plan");
+  planning_ = false;
+
+  const double L = config_.mpc.segment_seconds;
+  const std::size_t k = next_segment_;
+  ClientRequest request = current_request_;
 
   // Clock handoff: everything emitted while planning (including the nested
   // scheme → MPC solve) is stamped with the post-wait request time.

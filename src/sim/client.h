@@ -91,7 +91,20 @@ class StreamingClient {
 
   // Plan the next segment's download; std::nullopt when the video is fully
   // requested. Must be followed by complete_download() before the next call.
+  // Equivalent to begin_plan() + finish_plan().
   std::optional<ClientRequest> plan_next();
+
+  // Two-phase planning, used by the sharded fleet engine. begin_plan()
+  // consumes the Eq. 6 wait — advancing the wall clock and draining the
+  // buffer — and returns that wait. finish_plan() then runs prediction,
+  // bandwidth estimation, and the scheme's MPC solve, and returns the
+  // request. finish_plan() reads only client-local state frozen at
+  // begin_plan() time, so the engine may run it just-in-time when the
+  // flow-start event fires or speculatively on a worker thread — the two
+  // executions are bit-identical. Requires !finished(); one finish_plan()
+  // must follow each begin_plan() before any other state transition.
+  double begin_plan();
+  ClientRequest finish_plan();
 
   // Report how long the planned download took (seconds, > 0). Returns the
   // stall time this download caused (0 for the startup segment). Any buffer
@@ -149,6 +162,7 @@ class StreamingClient {
   double buffer_s_ = 0.0;
   double prev_plan_qo_ = -1.0;
   bool awaiting_download_ = false;
+  bool planning_ = false;  // between begin_plan() and finish_plan()
   double pending_bytes_ = 0.0;
 
   // Recovery state for the in-flight segment; all zero on the happy path,
