@@ -27,6 +27,8 @@
 #include "obs/observer.h"
 #include "obs/tracer.h"
 #include "server/edge_cache.h"
+#include "sim/schemes.h"
+#include "sim/tournament.h"
 #include "sim/workload.h"
 #include "trace/video_catalog.h"
 #include "util/units.h"
@@ -247,6 +249,38 @@ BENCHMARK(BM_FleetEdgeCache)
     ->Args({1000, 8, 120})
     ->Args({1000, 64, 120})
     ->Unit(benchmark::kMillisecond);
+
+// The full competitor tournament at --quick scale: every registered scheme
+// (the paper five plus GhoshLP/GhoshRobust/Pano) × both paper traces × both
+// default fault profiles × two small fleets, ranked into one report. This is
+// the end-to-end cost of a controller-zoo comparison run; cells_per_s is the
+// tracked rate (grid cells retired per wall-clock second). Arg = event-loop
+// shards per fleet — the report is bit-identical across the axis
+// (tests/tournament_test.cpp pins it), so the /1 → /4 delta is pure
+// wall-clock. Picked up by the CI BM_FleetRun|...|BM_Tournament filter and
+// bench_guard --require.
+void BM_Tournament(benchmark::State& state) {
+  sim::TournamentConfig config;
+  config.shards = static_cast<std::size_t>(state.range(0));
+  config.fleet_sizes = {2, 3};     // --quick scale: shapes, not throughput
+  config.video_duration_s = 10.0;  // keep each of the 64 cells snappy
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    const sim::TournamentReport report = sim::run_tournament(config);
+    cells += report.cells.size();
+    benchmark::DoNotOptimize(report.standings.data());
+  }
+  const double iters = static_cast<double>(
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(state.iterations())));
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+  state.counters["cells_per_s"] = benchmark::Counter(
+      static_cast<double>(cells), benchmark::Counter::kIsRate);
+  state.counters["cells"] =
+      benchmark::Counter(static_cast<double>(cells) / iters);
+  state.counters["schemes"] = benchmark::Counter(
+      static_cast<double>(sim::registered_schemes().size()));
+}
+BENCHMARK(BM_Tournament)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 // The fair-share recompute in isolation: start/finish churn over a standing
 // pool of flows, exercising the O(flows) water-fill per event.

@@ -39,6 +39,21 @@ double QoModel::frame_rate_factor(double alpha, double frame_ratio) {
   return std::clamp(num / den, 0.0, 1.0);
 }
 
+double QoModel::perceptual_sensitivity(util::DegPerSec s_fov, double si, double ti) {
+  const double s_fov_deg_per_s = s_fov.value();
+  PS360_CHECK(s_fov_deg_per_s >= 0.0);
+  PS360_CHECK(si >= 0.0 && ti >= 0.0);
+  // Half-sensitivity at 60 deg/s — about the Fig. 5 upper-quartile switching
+  // speed, where Pano's user study reports JND-level masking of CRF steps.
+  const double speed_term = 1.0 / (1.0 + s_fov_deg_per_s / 60.0);
+  // Detail floor 0.6: even flat content shows blocking artifacts, so
+  // sensitivity never drops below 60% on the content axis alone.
+  const double detail_term = 0.6 + 0.4 * (si / (si + 20.0));
+  // Temporal masking: motion at TI ~ 200 halves what is left.
+  const double motion_term = 1.0 / (1.0 + ti / 200.0);
+  return std::clamp(speed_term * detail_term * motion_term, 0.05, 1.0);
+}
+
 double QoModel::qo_with_frame_rate(double si, double ti, util::Mbps bitrate,
                                    util::DegPerSec s_fov, double frame_ratio) const {
   return qo(si, ti, bitrate) * frame_rate_factor(alpha(s_fov, ti), frame_ratio);

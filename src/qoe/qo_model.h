@@ -56,6 +56,16 @@ class QoModel {
   // alpha -> inf approaches g = 1 (frame rate barely matters).
   static double frame_rate_factor(double alpha, double frame_ratio);
 
+  // Pano-style perceptual sensitivity (arXiv:1911.04139) in (0, 1]: how much
+  // of a quality difference the viewer actually registers given the viewport
+  // switching speed and the content. Fast view switching masks detail
+  // (motion blur on the retina), and low-spatial-detail content (our SI
+  // standing in for Pano's luminance/DoF terms) gives quality less to act
+  // on; high motion (TI) adds further masking. A Pano-like planner multiplies
+  // its *predicted* Qo by this factor so bits flow to segments where quality
+  // is perceptible; delivered-QoE accounting stays on the unweighted Eq. 3.
+  static double perceptual_sensitivity(util::DegPerSec s_fov, double si, double ti);
+
   // Qo adjusted for a reduced frame rate.
   double qo_with_frame_rate(double si, double ti, util::Mbps bitrate,
                             util::DegPerSec s_fov, double frame_ratio) const;

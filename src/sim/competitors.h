@@ -1,0 +1,62 @@
+// The competitor zoo (ROADMAP item 3): controllers from the literature the
+// paper did not compare against, registered alongside the Section V schemes
+// so the tournament harness ranks everything on equal footing.
+//
+//   GhoshLP     — Ghosh/Aggarwal/Qian (arXiv:1812.00816): each segment's
+//                 byte budget (estimated bandwidth × segment length) is
+//                 allocated across the predicted-FoV tiles by a budgeted
+//                 quality-level assignment; no MPC buffer control, no frame
+//                 rate adaptation. The LP relaxation's optimum is integral
+//                 at concave per-tile utilities, so we solve it greedily by
+//                 maximum weighted marginal utility per byte (lp_allocate).
+//   GhoshRobust — the robust variant (§IV of the same paper): candidate
+//                 tiles are everything the viewport might touch, weighted by
+//                 the visibility probabilities from predict/visibility.h, so
+//                 bits hedge against prediction error instead of betting on
+//                 the point estimate.
+//   Pano        — Pano-style perceptual objective (arXiv:1911.04139): the
+//                 Ctile geometry and QoE-maximising MPC, but the planner's
+//                 predicted Qo is scaled by qoe::QoModel::
+//                 perceptual_sensitivity (viewport-speed/luminance masking)
+//                 and the frame-rate ladder is enabled, composing the
+//                 perceptual weight with the existing S_fov factor.
+//
+// All three are deterministic pure planners, same as the in-paper schemes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/schemes.h"
+#include "util/units.h"
+
+namespace ps360::sim {
+
+// Result of the budgeted per-tile quality assignment.
+struct LpAllocation {
+  std::vector<int> level;  // per tile: chosen index into its level vectors
+  double utility = 0.0;    // total weighted utility at the chosen levels
+  double spent = 0.0;      // bytes spent at the chosen levels
+  bool feasible = true;    // the floor (all tiles at level 0) fit the budget
+};
+
+// Allocate `budget` bytes across tiles: tile i at level l costs
+// tile_bytes[i][l] and yields weights[i] * tile_utility[i][l]. Every tile
+// starts at level 0 (the floor; if even that exceeds the budget the
+// allocation is marked infeasible and stays at the floor). Upgrades are
+// applied greedily by maximum weighted marginal utility per marginal byte —
+// free-or-negative-cost upgrades with positive gain first — with ties broken
+// toward the lower tile index. For utilities concave in bytes (per tile,
+// increasing levels) the greedy solution is exactly the LP/knapsack-
+// relaxation optimum rounded down to integral levels. Deterministic.
+LpAllocation lp_allocate(const std::vector<double>& weights,
+                         const std::vector<std::vector<double>>& tile_bytes,
+                         const std::vector<std::vector<double>>& tile_utility,
+                         util::Bytes budget);
+
+// Registry factories (rows in sim/schemes.cpp's controller registry).
+std::unique_ptr<Scheme> make_ghosh_lp(const SchemeEnv& env);
+std::unique_ptr<Scheme> make_ghosh_robust(const SchemeEnv& env);
+std::unique_ptr<Scheme> make_pano(const SchemeEnv& env);
+
+}  // namespace ps360::sim

@@ -1,109 +1,80 @@
-// The five Section V streaming schemes. Each plan() is a pure function of
-// (segment, prediction, bandwidth, buffer, prev_qo) — no hidden state —
-// so scheme comparisons are reproducible decision-for-decision.
+// The in-paper Section V schemes plus the controller registry. Each plan()
+// is a pure function of (segment, prediction, bandwidth, buffer, prev_qo) —
+// no hidden state — so scheme comparisons are reproducible
+// decision-for-decision. The registry at the bottom is the single source of
+// truth for scheme identity: scheme_name / all_schemes / registered_schemes
+// / make_scheme all derive from it, so a controller cannot exist without a
+// stable name and a factory (ISSUE 10 bugfixes: no config-dependent kind(),
+// no hand-maintained enum lists).
 #include "sim/schemes.h"
 
 #include <algorithm>
-#include <functional>
+#include <array>
 
+#include "sim/competitors.h"
+#include "sim/scheme_base.h"
 #include "util/check.h"
-#include "util/rng.h"
-#include "video/quality.h"
 
 namespace ps360::sim {
 
 using geometry::EquirectRect;
 using geometry::Viewport;
 
+namespace {
+
+using SchemeFactory = std::unique_ptr<Scheme> (*)(const SchemeEnv&);
+
+struct ControllerEntry {
+  ControllerInfo info;
+  SchemeFactory factory;
+};
+
+const std::array<ControllerEntry, kSchemeCount>& registry();
+
+}  // namespace
+
+const ControllerInfo& controller_info(SchemeKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  PS360_CHECK_MSG(index < kSchemeCount, "unknown SchemeKind");
+  return registry()[index].info;
+}
+
 const std::string& scheme_name(SchemeKind kind) {
-  static const std::array<std::string, kSchemeCount> names = {
-      "Ctile", "Ftile", "Nontile", "Ptile", "Ours"};
+  static const std::array<std::string, kSchemeCount> names = [] {
+    std::array<std::string, kSchemeCount> out;
+    for (std::size_t i = 0; i < kSchemeCount; ++i)
+      out[i] = std::string(registry()[i].info.name);
+    return out;
+  }();
   const auto index = static_cast<std::size_t>(kind);
   PS360_CHECK(index < names.size());
   return names[index];
 }
 
+SchemeKind scheme_kind(std::string_view name) {
+  for (const ControllerEntry& entry : registry()) {
+    if (entry.info.name == name) return entry.info.kind;
+  }
+  throw std::invalid_argument("unknown scheme name: " + std::string(name));
+}
+
 std::vector<SchemeKind> all_schemes() {
-  return {SchemeKind::kCtile, SchemeKind::kFtile, SchemeKind::kNontile,
-          SchemeKind::kPtile, SchemeKind::kOurs};
+  std::vector<SchemeKind> kinds;
+  kinds.reserve(kPaperSchemeCount);
+  for (const ControllerEntry& entry : registry()) {
+    if (entry.info.in_paper) kinds.push_back(entry.info.kind);
+  }
+  return kinds;
+}
+
+std::vector<SchemeKind> registered_schemes() {
+  std::vector<SchemeKind> kinds;
+  kinds.reserve(kSchemeCount);
+  for (const ControllerEntry& entry : registry()) kinds.push_back(entry.info.kind);
+  return kinds;
 }
 
 namespace {
-
-// Deterministic per-(segment, version, role) key for the encoding-size noise.
-std::uint64_t noise_key(const VideoWorkload& workload, std::size_t segment,
-                        int quality, std::size_t frame_index, int role) {
-  return util::derive_seed(
-      workload.config().seed,
-      static_cast<std::uint64_t>(workload.video().id) * 1000003ULL + segment,
-      static_cast<std::uint64_t>(quality) * 100 + frame_index * 10 +
-          static_cast<std::uint64_t>(role));
-}
-
-// bytes(i, v, frame_ratio) for one lookahead segment.
-using BytesFn = std::function<double(std::size_t segment, int quality,
-                                     std::size_t frame_index, double frame_ratio)>;
-
-class SchemeBase : public Scheme {
- public:
-  explicit SchemeBase(const SchemeEnv& env)
-      : env_(env),
-        grid_(env.grid_rows, env.grid_cols),
-        frame_ladder_(env.workload->video().fps) {
-    PS360_CHECK(env_.workload != nullptr && env_.encoding != nullptr &&
-                env_.qo_model != nullptr && env_.device != nullptr);
-    PS360_CHECK(env_.mpc_horizon >= 1);
-  }
-
- protected:
-  // Predicted Qo of a (v, f) version of segment `i` (Eq. 3 + Eq. 4 with the
-  // *predicted* switching speed).
-  double predicted_qo(std::size_t segment, int quality, double frame_ratio,
-                      double predicted_sfov) const {
-    const auto& feat = env_.workload->features(segment);
-    const double b = env_.encoding->fov_bitrate_mbps(quality, feat);
-    const double qo = env_.qo_model->qo(feat.si, feat.ti, util::Mbps(b));
-    if (frame_ratio >= 1.0) return qo;
-    const double alpha =
-        qoe::QoModel::alpha(util::DegPerSec(predicted_sfov), feat.ti);
-    return qo * qoe::QoModel::frame_rate_factor(alpha, frame_ratio);
-  }
-
-  // Build the MPC horizon [k, k+H-1] clipped to the video end.
-  std::vector<core::SegmentChoices> build_horizon(std::size_t k, const BytesFn& bytes,
-                                                  bool frame_options,
-                                                  double predicted_sfov,
-                                                  power::DecodeProfile profile) const {
-    const std::size_t n = env_.workload->segment_count();
-    const std::size_t end = std::min(k + env_.mpc_horizon, n);
-    std::vector<core::SegmentChoices> horizon;
-    horizon.reserve(end - k);
-    for (std::size_t i = k; i < end; ++i) {
-      core::SegmentChoices choices;
-      const std::size_t first_frame = frame_options ? 1 : video::FrameRateLadder::kOptions;
-      for (int v = video::QualityLadder::kMinLevel; v <= video::QualityLadder::kMaxLevel;
-           ++v) {
-        for (std::size_t fi = first_frame; fi <= video::FrameRateLadder::kOptions; ++fi) {
-          core::QualityOption option;
-          option.quality = v;
-          option.frame_index = fi;
-          const double ratio = frame_ladder_.ratio(fi);
-          option.fps = frame_ladder_.fps(fi);
-          option.bytes = bytes(i, v, fi, ratio);
-          option.qo = predicted_qo(i, v, ratio, predicted_sfov);
-          option.profile = profile;
-          choices.options.push_back(option);
-        }
-      }
-      horizon.push_back(std::move(choices));
-    }
-    return horizon;
-  }
-
-  const SchemeEnv env_;
-  const geometry::TileGrid grid_;
-  const video::FrameRateLadder frame_ladder_;
-};
 
 // ---------------------------------------------------------------------------
 // Ctile
@@ -111,10 +82,8 @@ class SchemeBase : public Scheme {
 class CtileScheme : public SchemeBase {
  public:
   explicit CtileScheme(const SchemeEnv& env)
-      : SchemeBase(env),
+      : SchemeBase(SchemeKind::kCtile, env),
         controller_(env.mpc, *env.device, core::MpcObjective::kMaxQoE) {}
-
-  SchemeKind kind() const override { return SchemeKind::kCtile; }
 
   void attach_observer(obs::Observer* observer, std::uint32_t session) override {
     controller_.set_observer(observer, session);
@@ -175,10 +144,8 @@ class CtileScheme : public SchemeBase {
 class FtileScheme : public SchemeBase {
  public:
   explicit FtileScheme(const SchemeEnv& env)
-      : SchemeBase(env),
+      : SchemeBase(SchemeKind::kFtile, env),
         controller_(env.mpc, *env.device, core::MpcObjective::kMaxQoE) {}
-
-  SchemeKind kind() const override { return SchemeKind::kFtile; }
 
   void attach_observer(obs::Observer* observer, std::uint32_t session) override {
     controller_.set_observer(observer, session);
@@ -247,10 +214,8 @@ class FtileScheme : public SchemeBase {
 class NontileScheme : public SchemeBase {
  public:
   explicit NontileScheme(const SchemeEnv& env)
-      : SchemeBase(env),
+      : SchemeBase(SchemeKind::kNontile, env),
         controller_(env.mpc, *env.device, core::MpcObjective::kMaxQoE) {}
-
-  SchemeKind kind() const override { return SchemeKind::kNontile; }
 
   void attach_observer(obs::Observer* observer, std::uint32_t session) override {
     controller_.set_observer(observer, session);
@@ -301,17 +266,15 @@ class NontileScheme : public SchemeBase {
 
 class PtileScheme : public SchemeBase {
  public:
-  PtileScheme(const SchemeEnv& env, bool frame_adaptation)
-      : SchemeBase(env),
+  // `kind` is the registry identity (kPtile or kOurs) — passed explicitly by
+  // the factory, never inferred from frame_adaptation (PR 10 bugfix).
+  PtileScheme(SchemeKind kind, const SchemeEnv& env, bool frame_adaptation)
+      : SchemeBase(kind, env),
         frame_adaptation_(frame_adaptation),
         builder_(env.workload->config().ptile),
         controller_(env.mpc, *env.device,
                     core::MpcObjective::kMinEnergyQoEConstrained),
         fallback_(env) {}
-
-  SchemeKind kind() const override {
-    return frame_adaptation_ ? SchemeKind::kOurs : SchemeKind::kPtile;
-  }
 
   void attach_observer(obs::Observer* observer, std::uint32_t session) override {
     controller_.set_observer(observer, session);
@@ -379,22 +342,61 @@ class PtileScheme : public SchemeBase {
   CtileScheme fallback_;
 };
 
+// ---------------------------------------------------------------------------
+// Registry
+
+std::unique_ptr<Scheme> make_ctile(const SchemeEnv& env) {
+  return std::make_unique<CtileScheme>(env);
+}
+std::unique_ptr<Scheme> make_ftile(const SchemeEnv& env) {
+  return std::make_unique<FtileScheme>(env);
+}
+std::unique_ptr<Scheme> make_nontile(const SchemeEnv& env) {
+  return std::make_unique<NontileScheme>(env);
+}
+std::unique_ptr<Scheme> make_ptile_fixed(const SchemeEnv& env) {
+  return std::make_unique<PtileScheme>(SchemeKind::kPtile, env,
+                                       /*frame_adaptation=*/false);
+}
+std::unique_ptr<Scheme> make_ours(const SchemeEnv& env) {
+  return std::make_unique<PtileScheme>(SchemeKind::kOurs, env,
+                                       /*frame_adaptation=*/true);
+}
+
+// Row i must register SchemeKind(i): every accessor indexes by enum value,
+// and the registry round-trip test (make → name → make) walks each row.
+const std::array<ControllerEntry, kSchemeCount>& registry() {
+  static const std::array<ControllerEntry, kSchemeCount> entries = [] {
+    std::array<ControllerEntry, kSchemeCount> table = {{
+        {{SchemeKind::kCtile, "Ctile", /*in_paper=*/true}, &make_ctile},
+        {{SchemeKind::kFtile, "Ftile", /*in_paper=*/true}, &make_ftile},
+        {{SchemeKind::kNontile, "Nontile", /*in_paper=*/true}, &make_nontile},
+        {{SchemeKind::kPtile, "Ptile", /*in_paper=*/true}, &make_ptile_fixed},
+        {{SchemeKind::kOurs, "Ours", /*in_paper=*/true}, &make_ours},
+        {{SchemeKind::kGhoshLp, "GhoshLP", /*in_paper=*/false}, &make_ghosh_lp},
+        {{SchemeKind::kGhoshRobust, "GhoshRobust", /*in_paper=*/false},
+         &make_ghosh_robust},
+        {{SchemeKind::kPano, "Pano", /*in_paper=*/false}, &make_pano},
+    }};
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      PS360_ASSERT(static_cast<std::size_t>(table[i].info.kind) == i);
+      PS360_ASSERT(!table[i].info.name.empty() && table[i].factory != nullptr);
+    }
+    return table;
+  }();
+  return entries;
+}
+
 }  // namespace
 
 std::unique_ptr<Scheme> make_scheme(SchemeKind kind, const SchemeEnv& env) {
-  switch (kind) {
-    case SchemeKind::kCtile:
-      return std::make_unique<CtileScheme>(env);
-    case SchemeKind::kFtile:
-      return std::make_unique<FtileScheme>(env);
-    case SchemeKind::kNontile:
-      return std::make_unique<NontileScheme>(env);
-    case SchemeKind::kPtile:
-      return std::make_unique<PtileScheme>(env, /*frame_adaptation=*/false);
-    case SchemeKind::kOurs:
-      return std::make_unique<PtileScheme>(env, /*frame_adaptation=*/true);
-  }
-  throw std::invalid_argument("unknown scheme kind");
+  const auto index = static_cast<std::size_t>(kind);
+  PS360_CHECK_MSG(index < kSchemeCount, "unknown scheme kind");
+  return registry()[index].factory(env);
+}
+
+std::unique_ptr<Scheme> make_scheme(std::string_view name, const SchemeEnv& env) {
+  return make_scheme(scheme_kind(name), env);
 }
 
 }  // namespace ps360::sim

@@ -1,6 +1,7 @@
 // Tests for the predict module: ridge-regression viewport prediction
-// (including longitude unwrapping and horizon behaviour) and the
-// harmonic-mean bandwidth estimator.
+// (including longitude unwrapping and horizon behaviour), the harmonic-mean
+// bandwidth estimator, and the tile-visibility probabilities behind the
+// robust competitor allocator.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -9,6 +10,7 @@
 #include "predict/bandwidth_estimators.h"
 #include "predict/predictors.h"
 #include "predict/viewport_predictor.h"
+#include "predict/visibility.h"
 #include "trace/head_synth.h"
 #include "trace/video_catalog.h"
 #include "util/stats.h"
@@ -275,6 +277,89 @@ TEST(BandwidthEstimatorsTest, AllReturnPriorBeforeData) {
     EXPECT_DOUBLE_EQ(est->estimate(), 777.0) << bandwidth_estimator_name(kind);
     EXPECT_THROW(est->observe(util::BytesPerSec(0.0)), std::invalid_argument);
   }
+}
+
+// ------------------------------------------------------------- Visibility
+
+TEST(VisibilityTest, ProbabilitiesAreInRangeAndPeakAtThePrediction) {
+  const geometry::TileGrid grid(4, 8);
+  const auto center = geometry::EquirectPoint::make(geometry::Degrees(180.0),
+                                                    geometry::Degrees(90.0));
+  const auto p = tile_visibility(grid, center, util::Degrees(100.0),
+                                 util::Degrees(100.0), util::DegPerSec(0.0),
+                                 util::Seconds(0.0));
+  ASSERT_EQ(p.size(), grid.tile_count());
+  for (const double v : p) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // A static gaze: the tile under the predicted center is near-certainly
+  // visible, the antipodal tile near-certainly not.
+  const auto at = grid.tile_at(center);
+  EXPECT_GT(p[at.row * grid.cols() + at.col], 0.99);
+  const auto far = grid.tile_at(geometry::EquirectPoint::make(
+      geometry::Degrees(0.0), geometry::Degrees(90.0)));
+  EXPECT_LT(p[far.row * grid.cols() + far.col], 0.05);
+}
+
+TEST(VisibilityTest, FasterSwitchingSpreadsProbabilityMass) {
+  const geometry::TileGrid grid(4, 8);
+  const auto center = geometry::EquirectPoint::make(geometry::Degrees(180.0),
+                                                    geometry::Degrees(90.0));
+  const auto slow = tile_visibility(grid, center, util::Degrees(100.0),
+                                    util::Degrees(100.0), util::DegPerSec(5.0),
+                                    util::Seconds(2.0));
+  const auto fast = tile_visibility(grid, center, util::Degrees(100.0),
+                                    util::Degrees(100.0), util::DegPerSec(120.0),
+                                    util::Seconds(2.0));
+  // The off-prediction tile gains visibility mass as the error spread grows;
+  // the on-prediction tile loses certainty.
+  const auto at = grid.tile_at(center);
+  const auto far = grid.tile_at(geometry::EquirectPoint::make(
+      geometry::Degrees(0.0), geometry::Degrees(90.0)));
+  EXPECT_GT(fast[far.row * grid.cols() + far.col],
+            slow[far.row * grid.cols() + far.col]);
+  EXPECT_LT(fast[at.row * grid.cols() + at.col],
+            slow[at.row * grid.cols() + at.col]);
+}
+
+TEST(VisibilityTest, LongitudeWrapInvariance) {
+  // Shifting the predicted center by exactly one tile column permutes the
+  // per-tile probabilities by one column — wraparound included.
+  const geometry::TileGrid grid(4, 8);
+  const double tile_w = grid.tile_width_deg();
+  const auto a = tile_visibility(
+      grid, geometry::EquirectPoint::make(geometry::Degrees(2.0), geometry::Degrees(80.0)),
+      util::Degrees(100.0), util::Degrees(100.0), util::DegPerSec(30.0),
+      util::Seconds(1.5));
+  const auto b = tile_visibility(
+      grid,
+      geometry::EquirectPoint::make(geometry::Degrees(2.0 + tile_w), geometry::Degrees(80.0)),
+      util::Degrees(100.0), util::Degrees(100.0), util::DegPerSec(30.0),
+      util::Seconds(1.5));
+  for (std::size_t row = 0; row < grid.rows(); ++row) {
+    for (std::size_t col = 0; col < grid.cols(); ++col) {
+      const std::size_t shifted = row * grid.cols() + (col + 1) % grid.cols();
+      EXPECT_NEAR(a[row * grid.cols() + col], b[shifted], 1e-12);
+    }
+  }
+}
+
+TEST(VisibilityTest, ValidatesArguments) {
+  const geometry::TileGrid grid(4, 8);
+  const auto center = geometry::EquirectPoint::make(geometry::Degrees(0.0),
+                                                    geometry::Degrees(90.0));
+  EXPECT_THROW(tile_visibility(grid, center, util::Degrees(0.0), util::Degrees(100.0),
+                               util::DegPerSec(0.0), util::Seconds(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(tile_visibility(grid, center, util::Degrees(100.0), util::Degrees(100.0),
+                               util::DegPerSec(-1.0), util::Seconds(0.0)),
+               std::invalid_argument);
+  VisibilityConfig bad;
+  bad.max_sigma_deg = 1.0;  // below base_sigma_deg
+  EXPECT_THROW(tile_visibility(grid, center, util::Degrees(100.0), util::Degrees(100.0),
+                               util::DegPerSec(0.0), util::Seconds(0.0), bad),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -125,6 +125,35 @@ TEST(QoModelTest, QoWithFrameRateComposes) {
   EXPECT_NEAR(adjusted, base * factor, 1e-9);
 }
 
+TEST(QoModelTest, PerceptualSensitivityRangeAndMonotonicity) {
+  // In range for a broad sweep of inputs.
+  for (const double s : {0.0, 30.0, 120.0, 720.0}) {
+    for (const double si : {0.0, 20.0, 80.0}) {
+      for (const double ti : {0.0, 50.0, 400.0}) {
+        const double w = QoModel::perceptual_sensitivity(util::DegPerSec(s), si, ti);
+        EXPECT_GE(w, 0.05);
+        EXPECT_LE(w, 1.0);
+      }
+    }
+  }
+  // Faster head motion and higher temporal complexity both mask quality
+  // differences (lower sensitivity); spatial detail raises sensitivity.
+  const double base = QoModel::perceptual_sensitivity(util::DegPerSec(30.0), 40.0, 50.0);
+  EXPECT_LT(QoModel::perceptual_sensitivity(util::DegPerSec(90.0), 40.0, 50.0), base);
+  EXPECT_LT(QoModel::perceptual_sensitivity(util::DegPerSec(30.0), 40.0, 150.0), base);
+  EXPECT_GT(QoModel::perceptual_sensitivity(util::DegPerSec(30.0), 80.0, 50.0), base);
+}
+
+TEST(QoModelTest, PerceptualSensitivityStaticDetailedSceneIsNearFull) {
+  // A static gaze on a detailed, slow scene should lose little sensitivity.
+  const double w = QoModel::perceptual_sensitivity(util::DegPerSec(0.0), 100.0, 0.0);
+  EXPECT_GT(w, 0.9);
+  EXPECT_THROW(QoModel::perceptual_sensitivity(util::DegPerSec(-1.0), 10.0, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(QoModel::perceptual_sensitivity(util::DegPerSec(0.0), -1.0, 10.0),
+               std::invalid_argument);
+}
+
 // --------------------------------------------------------------- QoEModel
 
 TEST(QoEModelTest, Eq2Composition) {

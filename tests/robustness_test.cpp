@@ -215,7 +215,9 @@ TEST(EvaluationGridTest, AccessorsAndMetrics) {
   options.max_videos = 1;
   options.network_duration_s = 300.0;
   const auto grid = run_evaluation_grid(power::Device::kPixel3, options);
-  EXPECT_EQ(grid.cells.size(), 2u * kSchemeCount);
+  // The grid runs the in-paper schemes (all_schemes()), not the full
+  // registered zoo — competitors live in the tournament, not the paper grid.
+  EXPECT_EQ(grid.cells.size(), 2u * kPaperSchemeCount);
   const auto& cell = grid.at(1, 2, SchemeKind::kOurs);
   EXPECT_GT(cell.energy_per_segment_mj(), 0.0);
   EXPECT_THROW(grid.at(99, 1, SchemeKind::kOurs), std::invalid_argument);

@@ -126,9 +126,12 @@ TEST(SchemeTest, InvalidKindThrowsInsteadOfIndexingOutOfBounds) {
 
 TEST(SchemeTest, NamesAndFactory) {
   EXPECT_EQ(scheme_name(SchemeKind::kOurs), "Ours");
-  EXPECT_EQ(all_schemes().size(), kSchemeCount);
+  // all_schemes() is the Section V comparison set; the full registry
+  // (competitors included) is registered_schemes().
+  EXPECT_EQ(all_schemes().size(), kPaperSchemeCount);
+  EXPECT_EQ(registered_schemes().size(), kSchemeCount);
   const PlannerFixture fixture;
-  for (SchemeKind kind : all_schemes()) {
+  for (SchemeKind kind : registered_schemes()) {
     EXPECT_EQ(make_scheme(kind, fixture.env)->kind(), kind);
   }
 }
